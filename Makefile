@@ -1,0 +1,43 @@
+# gmsim — Fast NIC-Based Barrier over Myrinet/GM, reproduced in Go.
+# Standard library only; requires Go >= 1.23.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table/figure of the paper's evaluation plus extensions.
+figures:
+	$(GO) run ./cmd/barrierbench
+	$(GO) run ./cmd/timing
+	$(GO) run ./cmd/sweep
+	$(GO) run ./cmd/gmping
+	$(GO) run ./cmd/barrierbench -fig mpi
+	$(GO) run ./cmd/barrierbench -fig mpibar
+	$(GO) run ./cmd/barrierbench -fig coll
+	$(GO) run ./cmd/barrierbench -fig scale
+	$(GO) run ./cmd/barrierbench -fig grain
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fuzzy
+	$(GO) run ./examples/multibarrier
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/mpi
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,369 @@
+// Package gmsim's top-level benchmarks regenerate every figure of the
+// paper's evaluation (Section 6) plus the ablations called out in
+// DESIGN.md. Each benchmark reports simulated microseconds per barrier via
+// b.ReportMetric (the quantity the paper plots); wall-clock ns/op measures
+// only the simulator itself.
+//
+// Mapping to the paper:
+//
+//	BenchmarkFigure5a*  — Figure 5(a): latency vs nodes, LANai 4.3
+//	BenchmarkFigure5b*  — Figure 5(b): factor of improvement, LANai 4.3
+//	BenchmarkFigure5c*  — Figure 5(c): latency vs nodes, LANai 7.2
+//	BenchmarkFigure5d*  — Figure 5(d): factor of improvement, LANai 7.2
+//	BenchmarkFigure2Model — Section 2.2 Equations 1-3 vs simulation
+//	BenchmarkPingPong   — Section 1's host-based one-way latency claim
+//	BenchmarkGBDimensionSweep — Section 6's dimension-sweep methodology
+//	BenchmarkLayerOverhead — Equation 3's added-layer prediction
+//	BenchmarkAblation*  — design-choice ablations (DESIGN.md)
+package gmsim
+
+import (
+	"fmt"
+	"testing"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/experiments"
+	"gmsim/internal/mcp"
+	"gmsim/internal/model"
+	"gmsim/internal/sim"
+)
+
+const benchIters = 40 // timed barriers per simulated measurement
+
+func reportBarrier(b *testing.B, spec experiments.Spec) {
+	b.Helper()
+	spec.Iters = benchIters
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = experiments.MeasureBarrier(spec).MeanMicros
+	}
+	b.ReportMetric(mean, "us/barrier")
+}
+
+func benchVariants(b *testing.B, mkCfg func(int) cluster.Config, sizes []int) {
+	for _, n := range sizes {
+		n := n
+		cfg := mkCfg(n)
+		b.Run(fmt.Sprintf("NIC-PE/nodes=%d", n), func(b *testing.B) {
+			reportBarrier(b, experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE})
+		})
+		b.Run(fmt.Sprintf("Host-PE/nodes=%d", n), func(b *testing.B) {
+			reportBarrier(b, experiments.Spec{Cluster: cfg, Level: experiments.HostLevel, Alg: mcp.PE})
+		})
+		b.Run(fmt.Sprintf("NIC-GB/nodes=%d", n), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				_, lat = experiments.OptimalGBDim(cfg, experiments.NICLevel, benchIters)
+			}
+			b.ReportMetric(lat, "us/barrier")
+		})
+		b.Run(fmt.Sprintf("Host-GB/nodes=%d", n), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				_, lat = experiments.OptimalGBDim(cfg, experiments.HostLevel, benchIters)
+			}
+			b.ReportMetric(lat, "us/barrier")
+		})
+	}
+}
+
+// BenchmarkFigure5aLatency regenerates Figure 5(a): NIC- and host-based
+// barrier latency for both algorithms on LANai 4.3 clusters of 2-16 nodes.
+func BenchmarkFigure5aLatency(b *testing.B) {
+	benchVariants(b, cluster.DefaultConfig, experiments.LANai43Sizes)
+}
+
+// BenchmarkFigure5bFactor regenerates Figure 5(b): factor of improvement
+// on LANai 4.3 (paper: 1.78 for PE at 16 nodes).
+func BenchmarkFigure5bFactor(b *testing.B) {
+	for _, n := range experiments.LANai43Sizes {
+		n := n
+		b.Run(fmt.Sprintf("PE/nodes=%d", n), func(b *testing.B) {
+			cfg := cluster.DefaultConfig(n)
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				nic := experiments.MeasureBarrier(experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE, Iters: benchIters}).MeanMicros
+				hst := experiments.MeasureBarrier(experiments.Spec{Cluster: cfg, Level: experiments.HostLevel, Alg: mcp.PE, Iters: benchIters}).MeanMicros
+				factor = hst / nic
+			}
+			b.ReportMetric(factor, "factor")
+		})
+	}
+}
+
+// BenchmarkFigure5cLatency regenerates Figure 5(c): latency on LANai 7.2
+// clusters of 2-8 nodes (paper: 49.25 µs NIC-PE at 8 nodes).
+func BenchmarkFigure5cLatency(b *testing.B) {
+	benchVariants(b, cluster.LANai72Config, experiments.LANai72Sizes)
+}
+
+// BenchmarkFigure5dFactor regenerates Figure 5(d): factor of improvement on
+// LANai 7.2 (paper: 1.83 for PE at 8 nodes).
+func BenchmarkFigure5dFactor(b *testing.B) {
+	for _, n := range experiments.LANai72Sizes {
+		n := n
+		b.Run(fmt.Sprintf("PE/nodes=%d", n), func(b *testing.B) {
+			cfg := cluster.LANai72Config(n)
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				nic := experiments.MeasureBarrier(experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE, Iters: benchIters}).MeanMicros
+				hst := experiments.MeasureBarrier(experiments.Spec{Cluster: cfg, Level: experiments.HostLevel, Alg: mcp.PE, Iters: benchIters}).MeanMicros
+				factor = hst / nic
+			}
+			b.ReportMetric(factor, "factor")
+		})
+	}
+}
+
+// BenchmarkFigure2Model evaluates the Section 2.2 analytical model against
+// the simulation, reporting the model's prediction error for the NIC-based
+// barrier at 8 nodes.
+func BenchmarkFigure2Model(b *testing.B) {
+	bd := model.PaperEstimate43()
+	cfg := cluster.DefaultConfig(8)
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		simNIC := experiments.MeasureBarrier(experiments.Spec{
+			Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE, Iters: benchIters,
+		}).MeanMicros
+		pred := bd.NICBarrier(8)
+		errPct = (pred - simNIC) / simNIC * 100
+	}
+	b.ReportMetric(errPct, "model-error-%")
+}
+
+// BenchmarkPingPong measures the host-level one-way small-message latency
+// (Section 1: "may be as high as 30µs") on both cards.
+func BenchmarkPingPong(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"LANai4.3", cluster.DefaultConfig(2)},
+		{"LANai7.2", cluster.LANai72Config(2)},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = experiments.PingPong(tc.cfg, 8, benchIters)
+			}
+			b.ReportMetric(lat, "us-one-way")
+		})
+	}
+}
+
+// BenchmarkGBDimensionSweep regenerates the Section 6 methodology: the GB
+// latency at every tree dimension for a 16-node LANai 4.3 cluster, reporting
+// the best/worst spread.
+func BenchmarkGBDimensionSweep(b *testing.B) {
+	cfg := cluster.DefaultConfig(16)
+	var best, worst float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.GBDimSweep(cfg, experiments.NICLevel, benchIters)
+		best, worst = pts[0].Micros, pts[0].Micros
+		for _, p := range pts {
+			if p.Micros < best {
+				best = p.Micros
+			}
+			if p.Micros > worst {
+				worst = p.Micros
+			}
+		}
+	}
+	b.ReportMetric(best, "us-best-dim")
+	b.ReportMetric(worst, "us-worst-dim")
+}
+
+// BenchmarkLayerOverhead regenerates the Equation-3 prediction (experiment
+// E8): the factor of improvement as an MPI-like layer adds per-message host
+// overhead.
+func BenchmarkLayerOverhead(b *testing.B) {
+	for _, oh := range []float64{0, 10, 20, 40} {
+		oh := oh
+		b.Run(fmt.Sprintf("overhead=%.0fus", oh), func(b *testing.B) {
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				pts := experiments.LayerOverheadSweep(8, []float64{oh}, benchIters)
+				factor = pts[0].Factor
+			}
+			b.ReportMetric(factor, "factor")
+		})
+	}
+}
+
+// BenchmarkAblationReliableBarrier measures the cost of the Section 4.4
+// reliable-barrier mechanism on a loss-free network: the price of the
+// separate ACK traffic and sequence bookkeeping.
+func BenchmarkAblationReliableBarrier(b *testing.B) {
+	for _, reliable := range []bool{false, true} {
+		reliable := reliable
+		name := "unreliable"
+		if reliable {
+			name = "reliable"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.DefaultConfig(8)
+			cfg.ReliableBarrier = reliable
+			reportBarrier(b, experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE})
+		})
+	}
+}
+
+// BenchmarkAblationLoopbackFlag measures the Section 3.4 optimization for
+// intra-NIC barriers: two ports of one NIC synchronizing via flags instead
+// of loopback packets.
+func BenchmarkAblationLoopbackFlag(b *testing.B) {
+	run := func(b *testing.B, flag bool) {
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			cfg := cluster.DefaultConfig(1)
+			cfg.LoopbackFlag = flag
+			cl := cluster.New(cfg)
+			s := cl.Sim()
+			var t0, t1 sim.Time
+			done := make([]int, 2)
+			post := func(port int) {
+				m := cl.MCP(0)
+				if err := m.PostBarrierBuffer(port); err != nil {
+					b.Fatal(err)
+				}
+				other := 5 - port // 2 <-> 3
+				tok := &mcp.BarrierToken{Alg: mcp.PE, SrcPort: port,
+					Peers: []mcp.Endpoint{{Node: 0, Port: other}}}
+				if err := m.PostBarrierToken(tok); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, port := range []int{2, 3} {
+				port := port
+				if err := cl.MCP(0).OpenPort(port, func(ev mcp.HostEvent) {
+					if ev.Kind == mcp.BarrierDoneEvent {
+						done[port-2]++
+						t1 = s.Now()
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const rounds = benchIters
+			var kick func(port, left int)
+			kick = func(port, left int) {
+				if left == 0 {
+					return
+				}
+				post(port)
+				want := rounds - left + 1
+				var poll func()
+				poll = func() {
+					if done[port-2] >= want {
+						kick(port, left-1)
+						return
+					}
+					s.After(sim.Microsecond, poll)
+				}
+				s.After(sim.Microsecond, poll)
+			}
+			t0 = s.Now()
+			kick(2, rounds)
+			kick(3, rounds)
+			s.Run()
+			mean = (t1 - t0).Micros() / rounds
+		}
+		b.ReportMetric(mean, "us/barrier")
+	}
+	b.Run("packet-loopback", func(b *testing.B) { run(b, false) })
+	b.Run("flag-optimized", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationTwoLevelSwitch compares the paper's single-switch
+// testbed with a two-switch topology (extra hop on half the routes).
+func BenchmarkAblationTwoLevelSwitch(b *testing.B) {
+	for _, twoLevel := range []bool{false, true} {
+		twoLevel := twoLevel
+		name := "single-switch"
+		if twoLevel {
+			name = "two-level"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.DefaultConfig(16)
+			cfg.TwoLevel = twoLevel
+			reportBarrier(b, experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE})
+		})
+	}
+}
+
+// BenchmarkCollectives regenerates the Section 8 future-work comparison
+// (experiment E10): NIC-based vs host-based broadcast/reduce/allreduce
+// one-shot latency at 8 nodes, optimal tree dimension.
+func BenchmarkCollectives(b *testing.B) {
+	cfg := cluster.DefaultConfig(8)
+	for _, tc := range []struct {
+		name string
+		nic  bool
+		op   mcp.CollOp
+	}{
+		{"NIC-bcast", true, mcp.Broadcast},
+		{"Host-bcast", false, mcp.Broadcast},
+		{"NIC-reduce", true, mcp.Reduce},
+		{"Host-reduce", false, mcp.Reduce},
+		{"NIC-allreduce", true, mcp.AllReduce},
+		{"Host-allreduce", false, mcp.AllReduce},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				_, lat = experiments.OptimalCollDim(cfg, tc.nic, tc.op, 4, benchIters)
+			}
+			b.ReportMetric(lat, "us/op")
+		})
+	}
+}
+
+// BenchmarkScaleProjection regenerates experiment E11: the factor of
+// improvement beyond the paper's 16-node testbed.
+func BenchmarkScaleProjection(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				rows := experiments.ScaleSweep([]int{n}, benchIters)
+				factor = rows[0].Factor
+			}
+			b.ReportMetric(factor, "factor")
+		})
+	}
+}
+
+// BenchmarkMPIBarrier regenerates experiment E8b: MPI_Barrier over the mpi
+// layer with each backend — the paper's Equation 3 prediction with a real
+// layer (compare the MPI factor against the raw-GM factor).
+func BenchmarkMPIBarrier(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		n := n
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			var row experiments.MPIRow
+			for i := 0; i < b.N; i++ {
+				row = experiments.MPIBarrierComparison([]int{n}, benchIters)[0]
+			}
+			b.ReportMetric(row.Factor, "mpi-factor")
+			b.ReportMetric(row.RawFactor, "raw-factor")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the DES engine itself: simulated
+// barrier operations per wall-clock second (not a paper figure; a sanity
+// check that the harness is usable at 100k-barrier scale).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := cluster.DefaultConfig(16)
+	spec := experiments.Spec{Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE, Iters: benchIters}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.MeasureBarrier(spec)
+	}
+	barriers := float64(b.N) * float64(benchIters+5)
+	b.ReportMetric(barriers/b.Elapsed().Seconds(), "barriers/sec")
+}

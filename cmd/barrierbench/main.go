@@ -1,0 +1,162 @@
+// Command barrierbench reproduces the paper's Figure 5: barrier latencies
+// and factors of improvement for NIC-based and host-based barriers, both
+// algorithms (PE and GB), on simulated LANai 4.3 and LANai 7.2 clusters.
+//
+// Usage:
+//
+//	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N]
+//
+// GB rows report the minimum latency over all tree dimensions 1..N-1 and
+// the dimension that achieved it, matching the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/experiments"
+	"gmsim/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, all")
+	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
+	flag.Parse()
+
+	switch *fig {
+	case "5a":
+		printLatencies("Figure 5(a): barrier latency (us), LANai 4.3", experiments.Figure5a(*iters))
+	case "5b":
+		printFactors("Figure 5(b): factor of improvement, LANai 4.3", experiments.Figure5b(*iters))
+	case "5c":
+		printLatencies("Figure 5(c): barrier latency (us), LANai 7.2", experiments.Figure5c(*iters))
+	case "5d":
+		printFactors("Figure 5(d): factor of improvement, LANai 7.2", experiments.Figure5d(*iters))
+	case "mpi":
+		printLayerSweep(*iters)
+	case "coll":
+		printCollectives(*iters)
+	case "scale":
+		printScale(*iters)
+	case "grain":
+		printGranularity(*iters)
+	case "mpibar":
+		printMPIBarrier(*iters)
+	case "all":
+		rows43 := experiments.Figure5a(*iters)
+		rows72 := experiments.Figure5c(*iters)
+		printLatencies("Figure 5(a): barrier latency (us), LANai 4.3", rows43)
+		fmt.Println()
+		printFactors("Figure 5(b): factor of improvement, LANai 4.3", experiments.Factors(rows43))
+		fmt.Println()
+		printLatencies("Figure 5(c): barrier latency (us), LANai 7.2", rows72)
+		fmt.Println()
+		printFactors("Figure 5(d): factor of improvement, LANai 7.2", experiments.Factors(rows72))
+		fmt.Println()
+		printHeadlines(rows43, rows72)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printLatencies(title string, rows []experiments.Figure5Row) {
+	t := stats.NewTable(title, "Nodes", "NIC-PE", "NIC-GB", "Host-PE", "Host-GB", "NIC-GB dim", "Host-GB dim")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.NICPE, r.NICGB, r.HostPE, r.HostGB, r.NICGBDim, r.HostGBDim)
+	}
+	fmt.Print(t.String())
+}
+
+func printFactors(title string, rows []experiments.FactorRow) {
+	t := stats.NewTable(title, "Nodes", "PE", "GB")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.PE, r.GB)
+	}
+	fmt.Print(t.String())
+}
+
+func printLayerSweep(iters int) {
+	pts := experiments.LayerOverheadSweep(8, []float64{0, 5, 10, 20, 40}, iters)
+	t := stats.NewTable("Factor of improvement vs added layer overhead (8 nodes, LANai 4.3, PE)",
+		"Overhead (us/msg)", "NIC-PE (us)", "Host-PE (us)", "Factor")
+	for _, p := range pts {
+		t.AddRow(p.OverheadMicros, p.NICPE, p.HostPE, p.Factor)
+	}
+	fmt.Print(t.String())
+}
+
+func printCollectives(iters int) {
+	rows := experiments.CollectiveComparison(cluster.DefaultConfig, []int{2, 4, 8, 16}, 4, iters)
+	t := stats.NewTable("NIC-based vs host-based collectives (Section 8 future work), LANai 4.3, 4x int64, optimal tree dim (us)",
+		"Nodes", "NIC-bcast", "Host-bcast", "NIC-reduce", "Host-reduce",
+		"NIC-allred", "Host-allred", "NIC-allgat", "Host-allgat",
+		"Bcast factor", "Allred factor", "Allgat factor")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.NICBcast, r.HostBcast, r.NICReduce, r.HostReduce,
+			r.NICAllRed, r.HostAllRed, r.NICAllGat, r.HostAllGat,
+			r.FactorBcast, r.FactorAllRed, r.FactorAllGat)
+	}
+	fmt.Print(t.String())
+}
+
+func printScale(iters int) {
+	rows := experiments.ScaleSweep([]int{2, 4, 8, 16, 32, 64, 128}, iters)
+	t := stats.NewTable("PE barrier scalability projection, LANai 4.3 (two-level switches beyond 16 nodes)",
+		"Nodes", "NIC-PE (us)", "Host-PE (us)", "Factor")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.NICPE, r.HostPE, r.Factor)
+	}
+	fmt.Print(t.String())
+}
+
+func printGranularity(iters int) {
+	grains := []float64{10, 25, 50, 100, 250, 500, 1000}
+	pts := experiments.GranularitySweep(16, grains, 0.2, iters)
+	t := stats.NewTable("BSP granularity study, 16 nodes, LANai 4.3, 20% compute imbalance",
+		"Grain (us)", "NIC iter (us)", "Host iter (us)", "NIC efficiency", "Host efficiency")
+	for _, p := range pts {
+		t.AddRow(p.GrainMicros, p.NICIter, p.HostIter, p.NICEff, p.HostEff)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nbreak-even grain (50%% efficiency): NIC %.0fus, host %.0fus\n",
+		experiments.BreakEvenGrain(pts, true, 0.5),
+		experiments.BreakEvenGrain(pts, false, 0.5))
+}
+
+func printMPIBarrier(iters int) {
+	rows := experiments.MPIBarrierComparison([]int{2, 4, 8, 16}, iters)
+	t := stats.NewTable("MPI_Barrier over the mpi layer: NIC-backed vs host-backed (LANai 4.3)",
+		"Nodes", "NIC-backed (us)", "Host-backed (us)", "MPI factor", "Raw-GM factor")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.NICBacked, r.HostBack, r.Factor, r.RawFactor)
+	}
+	fmt.Print(t.String())
+}
+
+func printHeadlines(rows43, rows72 []experiments.Figure5Row) {
+	paper := experiments.Paper()
+	find := func(rows []experiments.Figure5Row, n int) experiments.Figure5Row {
+		for _, r := range rows {
+			if r.Nodes == n {
+				return r
+			}
+		}
+		return experiments.Figure5Row{}
+	}
+	r16 := find(rows43, 16)
+	r8a := find(rows43, 8)
+	r8b := find(rows72, 8)
+	t := stats.NewTable("Headline comparison (paper vs simulation)", "Metric", "Paper", "Simulated")
+	t.AddRow("16-node NIC-PE latency, LANai 4.3 (us)", paper.NICPE16L43, r16.NICPE)
+	t.AddRow("16-node PE factor, LANai 4.3", paper.FactorPE16, r16.HostPE/r16.NICPE)
+	t.AddRow("16-node NIC-GB latency, LANai 4.3 (us)", paper.NICGB16L43, r16.NICGB)
+	t.AddRow("16-node GB factor, LANai 4.3", paper.FactorGB16, r16.HostGB/r16.NICGB)
+	t.AddRow("8-node NIC-PE latency, LANai 7.2 (us)", paper.NICPE8L72, r8b.NICPE)
+	t.AddRow("8-node host-PE latency, LANai 7.2 (us)", paper.HostPE8L72, r8b.HostPE)
+	t.AddRow("8-node PE factor, LANai 7.2", paper.FactorPE8L72, r8b.HostPE/r8b.NICPE)
+	t.AddRow("8-node PE factor, LANai 4.3", paper.FactorPE8L43, r8a.HostPE/r8a.NICPE)
+	fmt.Print(t.String())
+}

@@ -1,0 +1,106 @@
+// Command gmping validates the simulated GM substrate: point-to-point
+// one-way latency and streaming bandwidth between two nodes, the numbers
+// the paper's Section 1 quotes for host-based communication ("the one way
+// latency of such a host-based message may be as high as 30µs").
+//
+// Usage:
+//
+//	gmping [-nic 4.3|7.2] [-iters N] [-sizes 8,64,256,1024,4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/experiments"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/sim"
+	"gmsim/internal/stats"
+)
+
+func main() {
+	nicModel := flag.String("nic", "4.3", "NIC model: 4.3 or 7.2")
+	iters := flag.Int("iters", 200, "ping-pong iterations per size")
+	sizesArg := flag.String("sizes", "8,64,256,1024,4096", "comma-separated message sizes")
+	flag.Parse()
+
+	mkCfg := cluster.DefaultConfig
+	if *nicModel == "7.2" {
+		mkCfg = cluster.LANai72Config
+	} else if *nicModel != "4.3" {
+		fmt.Fprintf(os.Stderr, "unknown NIC model %q\n", *nicModel)
+		os.Exit(2)
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("GM point-to-point, 2 nodes, LANai %s", *nicModel),
+		"Size (B)", "One-way latency (us)", "Stream bandwidth (MB/s)")
+	for _, size := range sizes {
+		lat := experiments.PingPong(mkCfg(2), size, *iters)
+		bw := streamBandwidth(mkCfg(2), size, *iters)
+		tbl.AddRow(size, lat, bw)
+	}
+	fmt.Print(tbl.String())
+}
+
+// streamBandwidth measures one-directional streaming throughput: rank 0
+// pushes iters messages of the given size; bandwidth = bytes / time from
+// first send to last delivery.
+func streamBandwidth(cfg cluster.Config, size, iters int) float64 {
+	cl := cluster.New(cfg)
+	g := core.UniformGroup(2, 2)
+	payload := make([]byte, size)
+	var t0, t1 sim.Time
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			panic(err)
+		}
+		comm, err := core.NewComm(p, port, iters+32)
+		if err != nil {
+			panic(err)
+		}
+		if rank == 0 {
+			t0 = p.Now()
+			sent := 0
+			for sent < iters {
+				// Respect the send-token limit by draining completions.
+				if err := comm.Send(p, g[1], payload); err != nil {
+					// Out of tokens: block until an event frees one.
+					comm.Port().Receive(p)
+					continue
+				}
+				sent++
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				if _, err := comm.RecvFrom(p, g[0]); err != nil {
+					panic(err)
+				}
+			}
+			t1 = p.Now()
+		}
+	})
+	cl.Run()
+	if t1 <= t0 {
+		return 0
+	}
+	return float64(size*iters) / (t1 - t0).Micros() // B/µs == MB/s
+}

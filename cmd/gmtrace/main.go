@@ -1,0 +1,106 @@
+// Command gmtrace records and prints a packet-level trace of barrier
+// traffic: every injection and delivery on the fabric during a window of
+// consecutive barriers, plus per-packet wire latencies and event counts.
+// Useful for seeing exactly what the firmware puts on the wire — the
+// simulation counterpart of a Myrinet line analyzer.
+//
+// Usage:
+//
+//	gmtrace [-n nodes] [-alg pe|gb] [-dim D] [-level nic|host] [-barriers N] [-skip W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/stats"
+	"gmsim/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 4, "cluster size")
+	algArg := flag.String("alg", "pe", "barrier algorithm: pe or gb")
+	dim := flag.Int("dim", 2, "GB tree dimension")
+	levelArg := flag.String("level", "nic", "barrier placement: nic or host")
+	barriers := flag.Int("barriers", 2, "barriers to trace")
+	skip := flag.Int("skip", 3, "warmup barriers before tracing")
+	flag.Parse()
+
+	alg := mcp.PE
+	if *algArg == "gb" {
+		alg = mcp.GB
+	} else if *algArg != "pe" {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algArg)
+		os.Exit(2)
+	}
+	nicLevel := *levelArg == "nic"
+	if !nicLevel && *levelArg != "host" {
+		fmt.Fprintf(os.Stderr, "unknown level %q\n", *levelArg)
+		os.Exit(2)
+	}
+
+	cl := cluster.New(cluster.DefaultConfig(*n))
+	rec := trace.NewRecorder(cl.Fabric())
+	rec.Disable()
+	g := core.UniformGroup(*n, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			panic(err)
+		}
+		comm, err := core.NewComm(p, port, 4*(*n)+16)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < *skip+*barriers; i++ {
+			if rank == 0 && i == *skip {
+				rec.Enable()
+			}
+			var err error
+			if nicLevel {
+				err = comm.Barrier(p, alg, g, rank, *dim)
+			} else {
+				err = comm.HostBarrier(p, alg, g, rank, *dim)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		if rank == 0 {
+			rec.Disable()
+		}
+	})
+	cl.Run()
+
+	fmt.Printf("trace: %d %s-based %s barriers, %d nodes (after %d warmup)\n\n",
+		*barriers, *levelArg, *algArg, *n, *skip)
+	fmt.Print(rec.Dump())
+
+	fmt.Println("\nevent counts:")
+	counts := rec.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d\n", k, counts[k])
+	}
+
+	lats := rec.WireLatencies()
+	if len(lats) > 0 {
+		var s stats.Sample
+		for _, l := range lats {
+			s.Add(l.Latency().Micros())
+		}
+		fmt.Printf("\nwire latencies (us): %s\n", s.String())
+	}
+}

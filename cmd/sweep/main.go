@@ -1,0 +1,72 @@
+// Command sweep exposes the paper's GB tree-dimension methodology
+// (Section 6): for each barrier size it prints the latency at every tree
+// dimension from 1 to N-1 and marks the optimum. The Figure 5 GB numbers
+// are the minima of these sweeps.
+//
+// Usage:
+//
+//	sweep [-nic 4.3|7.2] [-level nic|host] [-sizes 4,8,16] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/experiments"
+	"gmsim/internal/stats"
+)
+
+func main() {
+	nicModel := flag.String("nic", "4.3", "NIC model: 4.3 or 7.2")
+	levelArg := flag.String("level", "nic", "barrier placement: nic or host")
+	sizesArg := flag.String("sizes", "4,8,16", "comma-separated node counts")
+	iters := flag.Int("iters", 100, "timed iterations per point")
+	flag.Parse()
+
+	mkCfg := cluster.DefaultConfig
+	if *nicModel == "7.2" {
+		mkCfg = cluster.LANai72Config
+	} else if *nicModel != "4.3" {
+		fmt.Fprintf(os.Stderr, "unknown NIC model %q\n", *nicModel)
+		os.Exit(2)
+	}
+	level := experiments.NICLevel
+	if *levelArg == "host" {
+		level = experiments.HostLevel
+	} else if *levelArg != "nic" {
+		fmt.Fprintf(os.Stderr, "unknown level %q\n", *levelArg)
+		os.Exit(2)
+	}
+
+	for _, s := range strings.Split(*sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+			os.Exit(2)
+		}
+		pts := experiments.GBDimSweep(mkCfg(n), level, *iters)
+		best := pts[0]
+		for _, p := range pts {
+			if p.Micros < best.Micros {
+				best = p
+			}
+		}
+		tbl := stats.NewTable(
+			fmt.Sprintf("%s-based GB barrier, %d nodes, LANai %s: latency vs tree dimension",
+				level, n, *nicModel),
+			"Dim", "Latency (us)", "")
+		for _, p := range pts {
+			mark := ""
+			if p.Dim == best.Dim {
+				mark = "<- optimal (reported in Figure 5)"
+			}
+			tbl.AddRow(p.Dim, p.Micros, mark)
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+}

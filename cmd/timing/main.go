@@ -1,0 +1,73 @@
+// Command timing reproduces Figure 2 and the Section 2.2 analytical model:
+// it prints proportional timing diagrams for the host-based and NIC-based
+// barriers, evaluates Equations 1-3, and compares the model's predictions
+// with the discrete-event simulation.
+//
+// Usage:
+//
+//	timing [-n nodes] [-nic 4.3|7.2] [-width cols]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/experiments"
+	"gmsim/internal/mcp"
+	"gmsim/internal/model"
+	"gmsim/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 8, "barrier size (power of two)")
+	nicModel := flag.String("nic", "4.3", "NIC model: 4.3 or 7.2")
+	width := flag.Int("width", 72, "diagram width in columns")
+	flag.Parse()
+
+	var b model.Breakdown
+	var mkCfg func(int) cluster.Config
+	switch *nicModel {
+	case "4.3":
+		b = model.PaperEstimate43()
+		mkCfg = cluster.DefaultConfig
+	case "7.2":
+		b = model.PaperEstimate72()
+		mkCfg = cluster.LANai72Config
+	default:
+		fmt.Fprintf(os.Stderr, "unknown NIC model %q\n", *nicModel)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Figure 2(a): host-based barrier timing, one node, %d processes, LANai %s\n\n", *n, *nicModel)
+	segs, err := b.TimingDiagram("host", *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(model.RenderDiagram(segs, *width))
+
+	fmt.Printf("\nFigure 2(b): NIC-based barrier timing, one node, %d processes, LANai %s\n\n", *n, *nicModel)
+	segs, err = b.TimingDiagram("nic", *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(model.RenderDiagram(segs, *width))
+
+	fmt.Println("\nSection 2.2 model (Equations 1-3) vs discrete-event simulation:")
+	tbl := stats.NewTable("", "Nodes", "Eq1 host (us)", "sim host (us)", "Eq2 NIC (us)", "sim NIC (us)", "Eq3 factor", "sim factor")
+	for _, size := range []int{2, 4, 8, 16} {
+		cfg := mkCfg(size)
+		simNIC := experiments.MeasureBarrier(experiments.Spec{
+			Cluster: cfg, Level: experiments.NICLevel, Alg: mcp.PE, Iters: 100,
+		}).MeanMicros
+		simHost := experiments.MeasureBarrier(experiments.Spec{
+			Cluster: cfg, Level: experiments.HostLevel, Alg: mcp.PE, Iters: 100,
+		}).MeanMicros
+		tbl.AddRow(size, b.HostBarrier(size), simHost, b.NICBarrier(size), simNIC,
+			b.Factor(size), simHost/simNIC)
+	}
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,3 @@
+module gmsim
+
+go 1.23

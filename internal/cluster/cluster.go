@@ -1,0 +1,178 @@
+// Package cluster assembles a complete simulated Myrinet/GM cluster: hosts,
+// LANai NICs running the MCP firmware, and a switch fabric — the testbed of
+// the paper's Section 6 (16 nodes with LANai 4.3 on a 16-port switch, eight
+// nodes with LANai 7.2 on an 8-port switch), generalized to arbitrary size
+// and to two-level switch topologies.
+package cluster
+
+import (
+	"fmt"
+
+	"gmsim/internal/host"
+	"gmsim/internal/lanai"
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the number of nodes (one NIC and one host each).
+	Nodes int
+	// NIC is the card model for every node (LANai43 or LANai72).
+	NIC lanai.Model
+	// Firmware gives the MCP task costs.
+	Firmware mcp.FirmwareParams
+	// Host gives the host-side cost parameters.
+	Host host.Params
+	// Link and Switch describe the fabric.
+	Link   network.LinkParams
+	Switch network.SwitchParams
+	// TwoLevel splits the nodes across two switches joined by an uplink
+	// (an extension; the paper uses one switch).
+	TwoLevel bool
+	// ReliableBarrier, ClearUnexpectedOnOpen, LoopbackFlag select the
+	// firmware variants (see mcp.Config).
+	ReliableBarrier       bool
+	ClearUnexpectedOnOpen bool
+	LoopbackFlag          bool
+}
+
+// DefaultConfig returns the paper's LANai 4.3 testbed scaled to n nodes:
+// one switch with a port per node.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:    n,
+		NIC:      lanai.LANai43(),
+		Firmware: mcp.DefaultFirmwareParams(),
+		Host:     host.DefaultParams(),
+		Link:     network.DefaultLinkParams(),
+		Switch:   network.DefaultSwitchParams(n),
+	}
+}
+
+// LANai72Config returns the paper's LANai 7.2 testbed scaled to n nodes.
+func LANai72Config(n int) Config {
+	c := DefaultConfig(n)
+	c.NIC = lanai.LANai72()
+	return c
+}
+
+// Cluster is a built, runnable cluster.
+type Cluster struct {
+	cfg    Config
+	sim    *sim.Simulator
+	fabric *network.Fabric
+	nics   []*lanai.NIC
+	mcps   []*mcp.MCP
+	procs  []*host.Process
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	s := sim.New()
+	f := network.New(s)
+	c := &Cluster{cfg: cfg, sim: s, fabric: f}
+
+	var attach func(i int) (*network.Switch, int)
+	if cfg.TwoLevel {
+		half := (cfg.Nodes + 1) / 2
+		spA, spB := cfg.Switch, cfg.Switch
+		if spA.Ports < half+1 {
+			spA.Ports = half + 1
+			spB.Ports = (cfg.Nodes - half) + 1
+		}
+		swA := f.AddSwitch(spA)
+		swB := f.AddSwitch(spB)
+		f.ConnectSwitches(swA, spA.Ports-1, swB, spB.Ports-1, cfg.Link)
+		attach = func(i int) (*network.Switch, int) {
+			if i < half {
+				return swA, i
+			}
+			return swB, i - half
+		}
+	} else {
+		sp := cfg.Switch
+		if sp.Ports < cfg.Nodes {
+			sp.Ports = cfg.Nodes
+		}
+		sw := f.AddSwitch(sp)
+		attach = func(i int) (*network.Switch, int) { return sw, i }
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		node := network.NodeID(i)
+		nic := lanai.NewNIC(s, cfg.NIC)
+		mcfg := mcp.DefaultConfig(node)
+		mcfg.Params = cfg.Firmware
+		mcfg.ReliableBarrier = cfg.ReliableBarrier
+		mcfg.ClearUnexpectedOnOpen = cfg.ClearUnexpectedOnOpen
+		mcfg.LoopbackFlag = cfg.LoopbackFlag
+		m := mcp.New(nic, mcfg)
+		sw, port := attach(i)
+		iface := f.AttachNIC(node, sw, port, cfg.Link, m.HandleDelivered)
+		m.Attach(iface, func(dst network.NodeID) ([]byte, error) {
+			return f.Route(node, dst)
+		})
+		c.nics = append(c.nics, nic)
+		c.mcps = append(c.mcps, m)
+	}
+	return c
+}
+
+// Sim returns the cluster's simulator.
+func (c *Cluster) Sim() *sim.Simulator { return c.sim }
+
+// Fabric returns the network fabric.
+func (c *Cluster) Fabric() *network.Fabric { return c.fabric }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// MCP returns node i's firmware.
+func (c *Cluster) MCP(i int) *mcp.MCP { return c.mcps[i] }
+
+// NIC returns node i's card.
+func (c *Cluster) NIC(i int) *lanai.NIC { return c.nics[i] }
+
+// Spawn starts an application process on node i with the given rank.
+// The body runs in simulated time; use the returned process's methods and
+// the gm package for communication.
+func (c *Cluster) Spawn(i, rank int, body func(p *host.Process)) *host.Process {
+	if i < 0 || i >= c.cfg.Nodes {
+		panic(fmt.Sprintf("cluster: no node %d", i))
+	}
+	var hp *host.Process
+	proc := c.sim.Spawn(fmt.Sprintf("node%d/rank%d", i, rank), func(p *sim.Proc) {
+		body(hp)
+	})
+	hp = host.NewProcess(proc, network.NodeID(i), rank, c.cfg.Host)
+	c.procs = append(c.procs, hp)
+	return hp
+}
+
+// SpawnAll starts one process per node, rank == node index — the paper's
+// "each node has only one process" configuration.
+func (c *Cluster) SpawnAll(body func(p *host.Process)) {
+	for i := 0; i < c.cfg.Nodes; i++ {
+		c.Spawn(i, i, body)
+	}
+}
+
+// Run drives the simulation until no events remain. It panics if processes
+// are left stranded (a lost-wakeup deadlock in the modeled program).
+func (c *Cluster) Run() {
+	c.sim.Run()
+	if n := c.sim.Stranded(); n > 0 {
+		panic(fmt.Sprintf("cluster: %d process(es) deadlocked at t=%v", n, c.sim.Now()))
+	}
+}
+
+// RunUntil drives the simulation up to time t.
+func (c *Cluster) RunUntil(t sim.Time) { c.sim.RunUntil(t) }

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+
+	"gmsim/internal/host"
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	cl := New(DefaultConfig(4))
+	if cl.Nodes() != 4 {
+		t.Fatalf("Nodes = %d", cl.Nodes())
+	}
+	if cl.Sim() == nil || cl.Fabric() == nil {
+		t.Fatal("nil sim/fabric")
+	}
+	for i := 0; i < 4; i++ {
+		if cl.MCP(i) == nil || cl.NIC(i) == nil {
+			t.Fatalf("node %d missing components", i)
+		}
+		if cl.MCP(i).Node() != network.NodeID(i) {
+			t.Fatalf("node id mismatch at %d", i)
+		}
+	}
+	if cl.Config().NIC.Name != lanai.LANai43().Name {
+		t.Fatal("default NIC should be LANai 4.3")
+	}
+}
+
+func TestLANai72Config(t *testing.T) {
+	cl := New(LANai72Config(8))
+	if cl.Config().NIC.ClockMHz != 66 {
+		t.Fatalf("clock = %v", cl.Config().NIC.ClockMHz)
+	}
+}
+
+func TestSwitchAutoSized(t *testing.T) {
+	cfg := DefaultConfig(20) // more nodes than the default 16-port switch
+	cfg.Switch.Ports = 4
+	cl := New(cfg)
+	// All routes must exist.
+	for i := 1; i < 20; i++ {
+		if _, err := cl.Fabric().Route(0, network.NodeID(i)); err != nil {
+			t.Fatalf("route 0->%d: %v", i, err)
+		}
+	}
+}
+
+func TestTwoLevelTopologyRoutes(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.TwoLevel = true
+	cl := New(cfg)
+	// Same-side route: 1 hop; cross-side: 2 hops.
+	r, err := cl.Fabric().Route(0, 1)
+	if err != nil || len(r) != 1 {
+		t.Fatalf("same-side route = %v, %v", r, err)
+	}
+	r, err = cl.Fabric().Route(0, 7)
+	if err != nil || len(r) != 2 {
+		t.Fatalf("cross-side route = %v, %v", r, err)
+	}
+}
+
+func TestSpawnRunsProcesses(t *testing.T) {
+	cl := New(DefaultConfig(3))
+	ranks := make(map[int]bool)
+	cl.SpawnAll(func(p *host.Process) {
+		ranks[p.Rank()] = true
+		if int(p.Node()) != p.Rank() {
+			t.Errorf("node %v != rank %d", p.Node(), p.Rank())
+		}
+	})
+	cl.Run()
+	if len(ranks) != 3 {
+		t.Fatalf("ran %d processes, want 3", len(ranks))
+	}
+}
+
+func TestSpawnOutOfRangePanics(t *testing.T) {
+	cl := New(DefaultConfig(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cl.Spawn(5, 0, func(p *host.Process) {})
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(DefaultConfig(0))
+}
+
+func TestRunDetectsDeadlock(t *testing.T) {
+	cl := New(DefaultConfig(1))
+	sig := cl.Sim().NewSignal()
+	cl.Spawn(0, 0, func(p *host.Process) {
+		p.Wait(sig) // nobody will ever fire this
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run should panic on stranded process")
+		}
+		sig.Fire() // unstick the goroutine
+	}()
+	cl.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	cl := New(DefaultConfig(1))
+	done := false
+	cl.Spawn(0, 0, func(p *host.Process) {
+		p.Compute(100 * sim.Microsecond)
+		done = true
+	})
+	cl.RunUntil(50 * sim.Microsecond)
+	if done {
+		t.Fatal("process finished too early")
+	}
+	cl.RunUntil(200 * sim.Microsecond)
+	if !done {
+		t.Fatal("process did not finish")
+	}
+}

@@ -1,0 +1,172 @@
+// Package core is the paper's primary contribution as a library: barrier
+// synchronization for Myrinet/GM clusters, in both placements the paper
+// compares —
+//
+//   - NIC-based: the host computes the communication schedule (the PE peer
+//     list or the GB tree neighborhood) and hands it to the NIC firmware,
+//     which runs the whole barrier without host involvement
+//     (gm_provide_barrier_buffer + gm_barrier_send_with_callback), and
+//   - host-based: the same algorithms executed by the host over ordinary
+//     GM sends and receives, the paper's baseline.
+//
+// Both the pairwise-exchange (PE) algorithm of MPICH and the
+// gather-and-broadcast (GB) algorithm over fixed-dimension trees are
+// provided, plus split-phase ("fuzzy") barriers that let the host compute
+// while the NIC completes the barrier.
+package core
+
+import (
+	"fmt"
+
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+)
+
+// Group is an ordered set of endpoints participating in a barrier;
+// a process's rank is its index.
+type Group []mcp.Endpoint
+
+// Rank returns ep's index in the group, or -1.
+func (g Group) Rank(ep mcp.Endpoint) int {
+	for i, e := range g {
+		if e == ep {
+			return i
+		}
+	}
+	return -1
+}
+
+// UniformGroup builds the common case used throughout the paper's
+// evaluation: one process per node, all using the same port number, on
+// nodes 0..n-1.
+func UniformGroup(n, port int) Group {
+	g := make(Group, n)
+	for i := range g {
+		g[i] = mcp.Endpoint{Node: network.NodeID(i), Port: port}
+	}
+	return g
+}
+
+// PESchedule returns the ordered list of peer ranks that rank exchanges
+// messages with in an n-process pairwise-exchange barrier.
+//
+// For powers of two this is MPICH's recursive doubling: step k pairs rank
+// with rank XOR 2^k. For other sizes (an extension — the paper evaluates
+// only 2/4/8/16) the ranks beyond the largest power of two m fold into
+// their partner below m with an exchange before and after the doubling
+// phase, preserving the invariant that every step is a full pairwise
+// exchange (send then receive with the same partner), which is exactly the
+// primitive the NIC firmware implements.
+func PESchedule(rank, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: group size %d", n)
+	}
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, n)
+	}
+	if n == 1 {
+		return []int{}, nil
+	}
+	m := 1
+	for m*2 <= n {
+		m *= 2
+	}
+	extra := n - m
+	doubling := func(r int) []int {
+		var s []int
+		for mask := 1; mask < m; mask <<= 1 {
+			s = append(s, r^mask)
+		}
+		return s
+	}
+	switch {
+	case rank >= m:
+		// Folded-in rank: announce arrival, then wait for release.
+		return []int{rank - m, rank - m}, nil
+	case rank < extra:
+		// Partner of a folded-in rank: absorb it, run the doubling,
+		// release it.
+		s := []int{rank + m}
+		s = append(s, doubling(rank)...)
+		return append(s, rank+m), nil
+	default:
+		return doubling(rank), nil
+	}
+}
+
+// GBTree returns rank's neighborhood in the n-process
+// gather-and-broadcast tree of the given dimension: each node has up to
+// dim children, laid out heap-style in rank order (children of i are
+// dim*i+1 .. dim*i+dim). Rank 0 is the root and has parent -1.
+//
+// The paper sweeps dim from 1 to N-1 and reports the best (Section 6):
+// dim 1 degenerates to a chain, dim N-1 to a star.
+func GBTree(rank, n, dim int) (parent int, children []int, err error) {
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("core: group size %d", n)
+	}
+	if rank < 0 || rank >= n {
+		return 0, nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, n)
+	}
+	if dim < 1 || (n > 1 && dim > n-1) {
+		return 0, nil, fmt.Errorf("core: tree dimension %d out of range [1,%d]", dim, n-1)
+	}
+	if rank == 0 {
+		parent = -1
+	} else {
+		parent = (rank - 1) / dim
+	}
+	for c := dim*rank + 1; c <= dim*rank+dim && c < n; c++ {
+		children = append(children, c)
+	}
+	return parent, children, nil
+}
+
+// TreeDepth returns the depth of the dimension-dim GB tree with n nodes
+// (root at depth 0).
+func TreeDepth(n, dim int) int {
+	depth := 0
+	for i := n - 1; i > 0; i = (i - 1) / dim {
+		depth++
+	}
+	return depth
+}
+
+// NICBarrierToken builds the barrier send token for rank self of the
+// group: the host-side computation the paper deliberately keeps off the
+// NIC ("the host at a particular node needs to inform the NIC only of the
+// children and parent of the node, rather than all the nodes in the
+// barrier"). dim is used only for GB.
+func NICBarrierToken(alg mcp.BarrierAlg, g Group, self, dim int) (*mcp.BarrierToken, error) {
+	n := len(g)
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", self, n)
+	}
+	tok := &mcp.BarrierToken{Alg: alg}
+	switch alg {
+	case mcp.PE:
+		sched, err := PESchedule(self, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range sched {
+			tok.Peers = append(tok.Peers, g[r])
+		}
+	case mcp.GB:
+		parent, children, err := GBTree(self, n, dim)
+		if err != nil {
+			return nil, err
+		}
+		if parent < 0 {
+			tok.Root = true
+		} else {
+			tok.Parent = g[parent]
+		}
+		for _, c := range children {
+			tok.Children = append(tok.Children, g[c])
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+	return tok, nil
+}

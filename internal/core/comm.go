@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+)
+
+// barrierPayload is the body of a host-based barrier message.
+var barrierPayload = []byte{0xBA}
+
+// Comm wraps a GM port with the bookkeeping a correct host-level program
+// needs: a pool of pre-posted receive buffers that is replenished as
+// messages are consumed, and a stash for messages that arrive before the
+// program asks for them (the host-level analogue of the NIC's
+// unexpected-barrier-message record).
+type Comm struct {
+	port *gm.Port
+
+	// stash holds received payloads not yet consumed, per source endpoint,
+	// in arrival order; arrivals preserves the global arrival order so
+	// receive-from-any stays deterministic.
+	stash    map[mcp.Endpoint][][]byte
+	arrivals []mcp.Endpoint
+
+	// barrierDone counts completed-but-unconsumed NIC barriers (observed
+	// while draining events for something else; at most one can be
+	// outstanding).
+	barrierDone int
+}
+
+// NewComm wraps an open port and pre-posts bufs receive buffers.
+func NewComm(p *host.Process, port *gm.Port, bufs int) (*Comm, error) {
+	c := &Comm{port: port, stash: make(map[mcp.Endpoint][][]byte)}
+	for i := 0; i < bufs; i++ {
+		if err := port.ProvideReceiveBuffer(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Port returns the wrapped port.
+func (c *Comm) Port() *gm.Port { return c.port }
+
+// Send posts a reliable data send. If the port is out of send tokens it
+// drains completion events (blocking) until one frees up — the standard GM
+// programming pattern for senders that outpace acknowledgments.
+func (c *Comm) Send(p *host.Process, dst mcp.Endpoint, data []byte) error {
+	for {
+		err := c.port.Send(p, dst, data, nil)
+		if err == nil {
+			return nil
+		}
+		if !strings.Contains(err.Error(), "out of send tokens") {
+			return err
+		}
+		c.dispatch(c.port.Receive(p))
+	}
+}
+
+// dispatch files one event. Returns the endpoint whose data arrived, if any.
+func (c *Comm) dispatch(ev mcp.HostEvent) {
+	switch ev.Kind {
+	case mcp.RecvEvent:
+		c.stash[ev.Src] = append(c.stash[ev.Src], ev.Data)
+		c.arrivals = append(c.arrivals, ev.Src)
+	case mcp.BarrierDoneEvent:
+		c.barrierDone++
+	case mcp.SentEvent:
+		// Send token returned; nothing to do at this layer.
+	}
+}
+
+// RecvFrom blocks until a data message from src is available, consumes it,
+// replenishes the receive-buffer pool, and returns the payload. Messages
+// from other endpoints that arrive meanwhile are stashed.
+func (c *Comm) RecvFrom(p *host.Process, src mcp.Endpoint) ([]byte, error) {
+	for {
+		if q := c.stash[src]; len(q) > 0 {
+			data := q[0]
+			c.stash[src] = q[1:]
+			c.dropArrival(src)
+			if err := c.port.ProvideReceiveBuffer(p); err != nil {
+				return nil, err
+			}
+			return data, nil
+		}
+		c.dispatch(c.port.Receive(p))
+	}
+}
+
+// RecvAny blocks until any data message is available and consumes the
+// oldest one, returning its source and payload.
+func (c *Comm) RecvAny(p *host.Process) (mcp.Endpoint, []byte, error) {
+	for {
+		if len(c.arrivals) > 0 {
+			src := c.arrivals[0]
+			c.arrivals = c.arrivals[1:]
+			q := c.stash[src]
+			data := q[0]
+			c.stash[src] = q[1:]
+			if err := c.port.ProvideReceiveBuffer(p); err != nil {
+				return src, nil, err
+			}
+			return src, data, nil
+		}
+		c.dispatch(c.port.Receive(p))
+	}
+}
+
+// dropArrival removes the oldest arrival entry for src.
+func (c *Comm) dropArrival(src mcp.Endpoint) {
+	for i, e := range c.arrivals {
+		if e == src {
+			c.arrivals = append(c.arrivals[:i], c.arrivals[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NIC-based barriers.
+// ---------------------------------------------------------------------------
+
+// Barrier runs a blocking NIC-based barrier for rank self of the group
+// using the given algorithm (dim applies to GB). This is the paper's fast
+// path: one host->NIC token, NIC-to-NIC message exchange, one completion
+// event back.
+func (c *Comm) Barrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) error {
+	pb, err := c.StartBarrier(p, alg, g, self, dim)
+	if err != nil {
+		return err
+	}
+	pb.Wait(p)
+	return nil
+}
+
+// PendingBarrier is a split-phase (fuzzy) barrier in flight: the host can
+// compute while the NIC completes the barrier, checking in with Test.
+type PendingBarrier struct {
+	c    *Comm
+	done bool
+}
+
+// StartBarrier initiates a NIC-based barrier and returns immediately —
+// the fuzzy-barrier entry point (Sections 1 and 5.2: "because we separate
+// the barrier initiation from the polling of the barrier completion, a
+// fuzzy barrier can be performed").
+func (c *Comm) StartBarrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) (*PendingBarrier, error) {
+	tok, err := NICBarrierToken(alg, g, self, dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.port.ProvideBarrierBuffer(p); err != nil {
+		return nil, err
+	}
+	if err := c.port.BarrierSend(p, tok); err != nil {
+		return nil, err
+	}
+	return &PendingBarrier{c: c}, nil
+}
+
+// Test polls once for completion without blocking; it returns true once
+// the barrier has completed. Between calls the host is free to compute.
+func (pb *PendingBarrier) Test(p *host.Process) bool {
+	if pb.takeDone() {
+		return true
+	}
+	if ev, ok := pb.c.port.TryReceive(p); ok {
+		pb.c.dispatch(ev)
+	}
+	return pb.takeDone()
+}
+
+// Wait blocks until the barrier completes.
+func (pb *PendingBarrier) Wait(p *host.Process) {
+	for !pb.takeDone() {
+		pb.c.dispatch(pb.c.port.Receive(p))
+	}
+}
+
+func (pb *PendingBarrier) takeDone() bool {
+	if pb.done {
+		return true
+	}
+	if pb.c.barrierDone > 0 {
+		pb.c.barrierDone--
+		pb.done = true
+	}
+	return pb.done
+}
+
+// ---------------------------------------------------------------------------
+// Host-based barriers (the paper's baseline).
+// ---------------------------------------------------------------------------
+
+// HostBarrierPE runs the pairwise-exchange barrier entirely at the host:
+// for each scheduled peer, send a message and wait for that peer's message
+// — every intermediate message crosses the PCI bus twice and is processed
+// by the host, which is precisely the overhead the NIC-based barrier
+// removes (Figure 1).
+func (c *Comm) HostBarrierPE(p *host.Process, g Group, self int) error {
+	sched, err := PESchedule(self, len(g))
+	if err != nil {
+		return err
+	}
+	for _, r := range sched {
+		peer := g[r]
+		if err := c.Send(p, peer, barrierPayload); err != nil {
+			return err
+		}
+		if _, err := c.RecvFrom(p, peer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostBarrierGB runs the gather-and-broadcast barrier at the host over a
+// dimension-dim tree: gather from all children, send to parent, wait for
+// the parent's broadcast, forward the broadcast to the children and exit.
+// The broadcast sends are posted back to back, so they pipeline through
+// the NIC — the effect the paper credits for the host-based GB's
+// competitiveness (Section 6).
+func (c *Comm) HostBarrierGB(p *host.Process, g Group, self, dim int) error {
+	parent, children, err := GBTree(self, len(g), dim)
+	if err != nil {
+		return err
+	}
+	for _, ch := range children {
+		if _, err := c.RecvFrom(p, g[ch]); err != nil {
+			return err
+		}
+	}
+	if parent >= 0 {
+		if err := c.Send(p, g[parent], barrierPayload); err != nil {
+			return err
+		}
+		if _, err := c.RecvFrom(p, g[parent]); err != nil {
+			return err
+		}
+	}
+	for _, ch := range children {
+		if err := c.Send(p, g[ch], barrierPayload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HostBarrier dispatches on the algorithm.
+func (c *Comm) HostBarrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) error {
+	switch alg {
+	case mcp.PE:
+		return c.HostBarrierPE(p, g, self)
+	case mcp.GB:
+		return c.HostBarrierGB(p, g, self, dim)
+	default:
+		return fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/sim"
+)
+
+// Experiment E10 (extension): the paper's Section 8 hypothesis, measured.
+// NIC-based vs host-based broadcast, reduce and allreduce latency, using
+// the same consecutive-operation averaging as the barrier experiments and
+// the same tree-dimension sweep methodology.
+
+// CollSpec describes one collective latency measurement.
+type CollSpec struct {
+	Cluster       cluster.Config
+	NICBased      bool
+	Op            mcp.CollOp
+	Dim           int
+	Elems         int // reduce vector length (int64 elements); payload for broadcast
+	Warmup, Iters int
+}
+
+// MeasureCollective returns the mean one-shot latency of the operation in
+// microseconds: each timed iteration is separated by an untimed NIC-based
+// barrier, and the sample is (latest completion across ranks) minus
+// (latest operation start across ranks). One-way collectives (broadcast, reduce)
+// complete at the producer without a handshake, so an unsynchronized tight
+// loop would measure producer throughput rather than operation latency.
+func MeasureCollective(spec CollSpec) float64 {
+	if spec.Warmup == 0 {
+		spec.Warmup = 3
+	}
+	if spec.Iters == 0 {
+		spec.Iters = DefaultIters
+	}
+	if spec.Elems == 0 {
+		spec.Elems = 1
+	}
+	n := spec.Cluster.Nodes
+	cl := cluster.New(spec.Cluster)
+	g := core.UniformGroup(n, 2)
+	payload := core.EncodeInt64s(make([]int64, spec.Elems))
+	rounds := spec.Warmup + spec.Iters
+	starts := make([]sim.Time, rounds)
+	latest := make([]sim.Time, rounds)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			panic(err)
+		}
+		comm, err := core.NewComm(p, port, 4*n+16)
+		if err != nil {
+			panic(err)
+		}
+		one := func() {
+			var err error
+			switch {
+			case spec.NICBased && spec.Op == mcp.Broadcast:
+				var data []byte
+				if rank == 0 {
+					data = payload
+				}
+				_, err = comm.NICBroadcast(p, g, rank, spec.Dim, data)
+			case spec.NICBased && spec.Op == mcp.Reduce:
+				_, err = comm.NICReduce(p, g, rank, spec.Dim, mcp.OpSum, payload)
+			case spec.NICBased && spec.Op == mcp.AllGather:
+				_, err = comm.NICAllGather(p, g, rank, spec.Dim, payload)
+			case spec.NICBased:
+				_, err = comm.NICAllReduce(p, g, rank, spec.Dim, mcp.OpSum, payload)
+			case spec.Op == mcp.Broadcast:
+				var data []byte
+				if rank == 0 {
+					data = payload
+				}
+				_, err = comm.HostBroadcast(p, g, rank, spec.Dim, data)
+			case spec.Op == mcp.Reduce:
+				_, err = comm.HostReduce(p, g, rank, spec.Dim, mcp.OpSum, payload)
+			case spec.Op == mcp.AllGather:
+				_, err = comm.HostAllGather(p, g, rank, spec.Dim, payload)
+			default:
+				_, err = comm.HostAllReduce(p, g, rank, spec.Dim, mcp.OpSum, payload)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < rounds; i++ {
+			// Untimed separator barrier bounds producer run-ahead and
+			// gives every iteration a common start line.
+			if err := comm.Barrier(p, mcp.PE, g, rank, 0); err != nil {
+				panic(err)
+			}
+			// The iteration's start line is when the *last* rank begins
+			// the operation (barrier exits are not simultaneous).
+			if p.Now() > starts[i] {
+				starts[i] = p.Now()
+			}
+			one()
+			if p.Now() > latest[i] {
+				latest[i] = p.Now()
+			}
+		}
+	})
+	cl.Run()
+	total := 0.0
+	for i := spec.Warmup; i < rounds; i++ {
+		total += (latest[i] - starts[i]).Micros()
+	}
+	return total / float64(spec.Iters)
+}
+
+// OptimalCollDim sweeps the tree dimension and returns the best (dim,
+// latency), mirroring the GB barrier methodology.
+func OptimalCollDim(cfg cluster.Config, nic bool, op mcp.CollOp, elems, iters int) (int, float64) {
+	bestDim, bestLat := 1, 0.0
+	for dim := 1; dim <= cfg.Nodes-1; dim++ {
+		lat := MeasureCollective(CollSpec{
+			Cluster: cfg, NICBased: nic, Op: op, Dim: dim, Elems: elems, Iters: iters,
+		})
+		if dim == 1 || lat < bestLat {
+			bestDim, bestLat = dim, lat
+		}
+	}
+	return bestDim, bestLat
+}
+
+// CollRow is one node-count row of the collective comparison.
+type CollRow struct {
+	Nodes                     int
+	NICBcast, HostBcast       float64
+	NICReduce, HostReduce     float64
+	NICAllRed, HostAllRed     float64
+	NICAllGat, HostAllGat     float64
+	FactorBcast, FactorAllRed float64
+	FactorAllGat              float64
+}
+
+// CollectiveComparison produces the E10 table: optimal-dimension latencies
+// for the three operations at both levels.
+func CollectiveComparison(mkCfg func(n int) cluster.Config, sizes []int, elems, iters int) []CollRow {
+	rows := make([]CollRow, 0, len(sizes))
+	for _, n := range sizes {
+		cfg := mkCfg(n)
+		row := CollRow{Nodes: n}
+		_, row.NICBcast = OptimalCollDim(cfg, true, mcp.Broadcast, elems, iters)
+		_, row.HostBcast = OptimalCollDim(cfg, false, mcp.Broadcast, elems, iters)
+		_, row.NICReduce = OptimalCollDim(cfg, true, mcp.Reduce, elems, iters)
+		_, row.HostReduce = OptimalCollDim(cfg, false, mcp.Reduce, elems, iters)
+		_, row.NICAllRed = OptimalCollDim(cfg, true, mcp.AllReduce, elems, iters)
+		_, row.HostAllRed = OptimalCollDim(cfg, false, mcp.AllReduce, elems, iters)
+		_, row.NICAllGat = OptimalCollDim(cfg, true, mcp.AllGather, elems, iters)
+		_, row.HostAllGat = OptimalCollDim(cfg, false, mcp.AllGather, elems, iters)
+		row.FactorBcast = row.HostBcast / row.NICBcast
+		row.FactorAllRed = row.HostAllRed / row.NICAllRed
+		row.FactorAllGat = row.HostAllGat / row.NICAllGat
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,52 @@
+package gm
+
+import (
+	"fmt"
+
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+)
+
+// Collective support: the host-side half of the Section 8 future work
+// implemented in the firmware (mcp/collective.go). The call pattern mirrors
+// the paper's barrier API: provide a completion buffer, post a token whose
+// tree neighborhood the host computed, poll for the completion event.
+
+// ProvideCollectiveBuffer posts one collective completion buffer.
+func (pt *Port) ProvideCollectiveBuffer(p *host.Process) error {
+	if !pt.open {
+		return fmt.Errorf("gm: provide collective buffer on closed port %d", pt.num)
+	}
+	pt.collBufs++
+	p.Compute(p.Params().ProvideBufferCost)
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostCollectiveBuffer(pt.num); err != nil && pt.open {
+			panic(fmt.Sprintf("gm: NIC rejected collective buffer: %v", err))
+		}
+	})
+	return nil
+}
+
+// CollectiveSend initiates a NIC-based collective operation. Completion is
+// reported by a CollDoneEvent carrying the token's tag and the result data.
+func (pt *Port) CollectiveSend(p *host.Process, tok *mcp.CollToken) error {
+	if !pt.open {
+		return fmt.Errorf("gm: collective on closed port %d", pt.num)
+	}
+	if pt.collActive {
+		return fmt.Errorf("gm: port %d collective already in flight", pt.num)
+	}
+	if pt.collBufs == 0 {
+		return fmt.Errorf("gm: port %d has no collective buffer", pt.num)
+	}
+	tok.SrcPort = pt.num
+	pt.collActive = true
+	pt.collBufs--
+	p.Compute(p.Params().BarrierPostCost)
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostCollectiveToken(tok); err != nil {
+			panic(fmt.Sprintf("gm: NIC rejected collective token: %v", err))
+		}
+	})
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package gm is the host-side GM library: the API a user program calls to
+// communicate through an opened port, as in Myricom's GM 1.2.3, plus the
+// two functions the paper adds for NIC-based barriers
+// (ProvideBarrierBuffer and BarrierSend, modeling
+// gm_provide_barrier_buffer and gm_barrier_send_with_callback).
+//
+// Every call charges the calling process the host CPU cost of the real
+// call and models the PCI doorbell latency before the NIC can observe the
+// request. Completion flows back through the port's host event queue,
+// which the process reads with Receive (blocking) or TryReceive (polling,
+// for fuzzy barriers).
+package gm
+
+import (
+	"fmt"
+
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/mem"
+	"gmsim/internal/sim"
+)
+
+// endpointArg aliases the endpoint type for the memory file's signatures.
+type endpointArg = mcp.Endpoint
+
+// Port is an open communication endpoint as seen from the host.
+type Port struct {
+	sim  *sim.Simulator
+	mcp  *mcp.MCP
+	num  int
+	open bool
+
+	events []mcp.HostEvent
+	sig    *sim.Signal
+
+	// Host-side mirrors of NIC state, kept exact because each port is
+	// driven by a single sequential process.
+	sendsInFlight int
+	maxSends      int
+	recvBufs      int
+	barrierBufs   int
+	barrierActive bool
+	collBufs      int
+	collActive    bool
+
+	// registry enables strict pinning checks (nil = permissive).
+	registry *mem.Registry
+
+	// Counters.
+	sent, received, barriers int64
+}
+
+// Open opens port number num on the given NIC firmware for the calling
+// process. It models the driver path (open is not on any fast path, so no
+// fine-grained cost accounting is applied beyond a doorbell).
+func Open(p *host.Process, m *mcp.MCP, num int) (*Port, error) {
+	pt := &Port{
+		sim:      m.NIC().Sim(),
+		mcp:      m,
+		num:      num,
+		maxSends: 16,
+	}
+	pt.sig = pt.sim.NewSignal()
+	if err := m.OpenPort(num, pt.onEvent); err != nil {
+		return nil, err
+	}
+	pt.open = true
+	p.Compute(p.Params().DoorbellLatency)
+	return pt, nil
+}
+
+// onEvent runs at the instant the NIC finishes DMAing an event record into
+// host memory.
+func (pt *Port) onEvent(ev mcp.HostEvent) {
+	pt.events = append(pt.events, ev)
+	pt.sig.Fire()
+}
+
+// Close closes the port.
+func (pt *Port) Close() error {
+	if !pt.open {
+		return fmt.Errorf("gm: port %d already closed", pt.num)
+	}
+	pt.open = false
+	return pt.mcp.ClosePort(pt.num)
+}
+
+// Num returns the port number.
+func (pt *Port) Num() int { return pt.num }
+
+// Node returns the NIC's node id.
+func (pt *Port) Node() mcp.Endpoint { return mcp.Endpoint{Node: pt.mcp.Node(), Port: pt.num} }
+
+// IsOpen reports whether the port is open.
+func (pt *Port) IsOpen() bool { return pt.open }
+
+// PendingEvents returns the number of host events queued but not received.
+func (pt *Port) PendingEvents() int { return len(pt.events) }
+
+// Stats returns (sends posted, events received, barriers posted).
+func (pt *Port) Stats() (int64, int64, int64) { return pt.sent, pt.received, pt.barriers }
+
+// Send posts a reliable data send (gm_send_with_callback). It returns as
+// soon as the token is handed to the NIC; a SentEvent with the given tag
+// arrives once the message is acknowledged.
+func (pt *Port) Send(p *host.Process, dst mcp.Endpoint, data []byte, tag any) error {
+	if !pt.open {
+		return fmt.Errorf("gm: send on closed port %d", pt.num)
+	}
+	if pt.sendsInFlight >= pt.maxSends {
+		return fmt.Errorf("gm: port %d out of send tokens (%d in flight)", pt.num, pt.sendsInFlight)
+	}
+	pt.sendsInFlight++
+	pt.sent++
+	p.Compute(p.Params().EffectiveSendCost())
+	tok := &mcp.SendToken{SrcPort: pt.num, Dst: dst, Data: data, Tag: tag}
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostSendToken(tok); err != nil {
+			// The host-side mirror should have caught every failure mode.
+			panic(fmt.Sprintf("gm: NIC rejected send: %v", err))
+		}
+	})
+	return nil
+}
+
+// ProvideReceiveBuffer posts one receive buffer
+// (gm_provide_receive_buffer_with_tag).
+func (pt *Port) ProvideReceiveBuffer(p *host.Process) error {
+	if !pt.open {
+		return fmt.Errorf("gm: provide buffer on closed port %d", pt.num)
+	}
+	pt.recvBufs++
+	p.Compute(p.Params().ProvideBufferCost)
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostReceiveToken(pt.num); err != nil && pt.open {
+			panic(fmt.Sprintf("gm: NIC rejected receive token: %v", err))
+		}
+	})
+	return nil
+}
+
+// ProvideBarrierBuffer posts one barrier completion buffer — the paper's
+// gm_provide_barrier_buffer, called before initiating a barrier.
+func (pt *Port) ProvideBarrierBuffer(p *host.Process) error {
+	if !pt.open {
+		return fmt.Errorf("gm: provide barrier buffer on closed port %d", pt.num)
+	}
+	pt.barrierBufs++
+	p.Compute(p.Params().ProvideBufferCost)
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostBarrierBuffer(pt.num); err != nil && pt.open {
+			panic(fmt.Sprintf("gm: NIC rejected barrier buffer: %v", err))
+		}
+	})
+	return nil
+}
+
+// BarrierSend initiates a NIC-based barrier — the paper's
+// gm_barrier_send_with_callback. The host must have computed the peer list
+// (PE) or tree neighborhood (GB) and provided a barrier buffer. Completion
+// is reported by a BarrierDoneEvent carrying the token's tag.
+func (pt *Port) BarrierSend(p *host.Process, tok *mcp.BarrierToken) error {
+	if !pt.open {
+		return fmt.Errorf("gm: barrier on closed port %d", pt.num)
+	}
+	if pt.barrierActive {
+		return fmt.Errorf("gm: port %d barrier already in flight", pt.num)
+	}
+	if pt.barrierBufs == 0 {
+		return fmt.Errorf("gm: port %d has no barrier buffer", pt.num)
+	}
+	tok.SrcPort = pt.num
+	pt.barrierActive = true
+	pt.barrierBufs--
+	pt.barriers++
+	p.Compute(p.Params().BarrierPostCost)
+	pt.sim.After(p.Params().DoorbellLatency, func() {
+		if err := pt.mcp.PostBarrierToken(tok); err != nil {
+			panic(fmt.Sprintf("gm: NIC rejected barrier token: %v", err))
+		}
+	})
+	return nil
+}
+
+// Receive blocks until a host event is available, then consumes and
+// returns it (gm_receive / gm_blocking_receive). The process is charged
+// event-detection cost plus a per-kind processing cost (the paper's HRecv
+// for data and barrier-completion events).
+func (pt *Port) Receive(p *host.Process) mcp.HostEvent {
+	for len(pt.events) == 0 {
+		p.Proc().Wait(pt.sig)
+	}
+	p.Compute(p.Params().RecvDetect)
+	return pt.consume(p)
+}
+
+// TryReceive polls once for an event (non-blocking gm_receive). It charges
+// one poll cost; if an event is present it is consumed and returned.
+// Fuzzy-barrier loops interleave TryReceive with computation.
+func (pt *Port) TryReceive(p *host.Process) (mcp.HostEvent, bool) {
+	p.Compute(p.Params().PollCost)
+	if len(pt.events) == 0 {
+		return mcp.HostEvent{}, false
+	}
+	p.Compute(p.Params().RecvDetect)
+	return pt.consume(p), true
+}
+
+func (pt *Port) consume(p *host.Process) mcp.HostEvent {
+	ev := pt.events[0]
+	pt.events = pt.events[1:]
+	pt.received++
+	switch ev.Kind {
+	case mcp.RecvEvent:
+		pt.recvBufs--
+		p.Compute(p.Params().EffectiveRecvProcess())
+	case mcp.SentEvent:
+		pt.sendsInFlight--
+		p.Compute(p.Params().SentEvtCost)
+	case mcp.BarrierDoneEvent:
+		pt.barrierActive = false
+		p.Compute(p.Params().EffectiveRecvProcess())
+	case mcp.CollDoneEvent:
+		pt.collActive = false
+		p.Compute(p.Params().EffectiveRecvProcess())
+	}
+	return ev
+}

@@ -1,0 +1,262 @@
+package gm_test
+
+import (
+	"testing"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/sim"
+)
+
+// run spawns a single-node (or n-node) cluster and runs body as rank 0's
+// process; extra ranks run extraBody.
+func run(t *testing.T, n int, body func(cl *cluster.Cluster, p *host.Process), extra func(cl *cluster.Cluster, p *host.Process)) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(n))
+	cl.Spawn(0, 0, func(p *host.Process) { body(cl, p) })
+	for i := 1; i < n; i++ {
+		i := i
+		cl.Spawn(i, i, func(p *host.Process) {
+			if extra != nil {
+				extra(cl, p)
+			}
+		})
+	}
+	cl.Run()
+	return cl
+}
+
+func TestOpenClose(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, err := gm.Open(p, cl.MCP(0), 2)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if !port.IsOpen() || port.Num() != 2 {
+			t.Error("port state wrong after open")
+		}
+		if port.Node() != (mcp.Endpoint{Node: 0, Port: 2}) {
+			t.Errorf("Node() = %v", port.Node())
+		}
+		if err := port.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := port.Close(); err == nil {
+			t.Error("double close should error")
+		}
+	}, nil)
+}
+
+func TestOpenSamePortTwiceFails(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		if _, err := gm.Open(p, cl.MCP(0), 2); err != nil {
+			t.Errorf("first open: %v", err)
+			return
+		}
+		if _, err := gm.Open(p, cl.MCP(0), 2); err == nil {
+			t.Error("second open of same port should fail")
+		}
+	}, nil)
+}
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	got := make(chan string, 1)
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		// rank 0: receiver
+		port, err := gm.Open(p, cl.MCP(0), 2)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := port.ProvideReceiveBuffer(p); err != nil {
+			t.Errorf("provide: %v", err)
+			return
+		}
+		ev := port.Receive(p)
+		if ev.Kind != mcp.RecvEvent {
+			t.Errorf("kind = %v", ev.Kind)
+		}
+		got <- string(ev.Data)
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, err := gm.Open(p, cl.MCP(1), 2)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := port.Send(p, mcp.Endpoint{Node: 0, Port: 2}, []byte("ping"), nil); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		// consume the completion
+		if ev := port.Receive(p); ev.Kind != mcp.SentEvent {
+			t.Errorf("expected sent event, got %v", ev.Kind)
+		}
+	})
+	select {
+	case s := <-got:
+		if s != "ping" {
+			t.Fatalf("payload = %q", s)
+		}
+	default:
+		t.Fatal("receiver never got the message")
+	}
+}
+
+func TestReceiveChargesHostCosts(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.ProvideReceiveBuffer(p)
+		before := p.Now()
+		ev := port.Receive(p)
+		after := p.Now()
+		minCost := p.Params().RecvDetect + p.Params().EffectiveRecvProcess()
+		if after-before < minCost {
+			t.Errorf("Receive charged %v, want at least %v", after-before, minCost)
+		}
+		_ = ev
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		port.Send(p, mcp.Endpoint{Node: 0, Port: 2}, []byte("x"), nil)
+	})
+}
+
+func TestTryReceivePolling(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		t0 := p.Now()
+		if _, ok := port.TryReceive(p); ok {
+			t.Error("TryReceive on empty port should return false")
+		}
+		if p.Now()-t0 != p.Params().PollCost {
+			t.Errorf("empty poll cost = %v, want %v", p.Now()-t0, p.Params().PollCost)
+		}
+		if port.PendingEvents() != 0 {
+			t.Error("PendingEvents should be 0")
+		}
+	}, nil)
+}
+
+func TestSendOnClosedPortFails(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.Close()
+		if err := port.Send(p, mcp.Endpoint{Node: 0, Port: 3}, []byte("x"), nil); err == nil {
+			t.Error("send on closed port should fail")
+		}
+		if err := port.ProvideReceiveBuffer(p); err == nil {
+			t.Error("provide on closed port should fail")
+		}
+		if err := port.ProvideBarrierBuffer(p); err == nil {
+			t.Error("provide barrier on closed port should fail")
+		}
+	}, nil)
+}
+
+func TestSendTokenExhaustionAtHost(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		var err error
+		sent := 0
+		for i := 0; i < 20; i++ {
+			err = port.Send(p, mcp.Endpoint{Node: 1, Port: 2}, []byte("x"), nil)
+			if err != nil {
+				break
+			}
+			sent++
+		}
+		if err == nil {
+			t.Error("expected send-token exhaustion")
+		}
+		// Drain completions so the simulation terminates.
+		for i := 0; i < sent; i++ {
+			if ev := port.Receive(p); ev.Kind != mcp.SentEvent {
+				t.Errorf("unexpected event %v", ev.Kind)
+			}
+		}
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		for i := 0; i < 20; i++ {
+			port.ProvideReceiveBuffer(p)
+		}
+		for i := 0; i < 16; i++ {
+			port.Receive(p)
+		}
+	})
+}
+
+func TestBarrierValidation(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		tok := &mcp.BarrierToken{Alg: mcp.PE}
+		if err := port.BarrierSend(p, tok); err == nil {
+			t.Error("barrier without buffer should fail")
+		}
+		port.ProvideBarrierBuffer(p)
+		if err := port.BarrierSend(p, tok); err != nil {
+			t.Errorf("barrier: %v", err)
+		}
+		// second while first in flight (empty peer list completes fast,
+		// but we have not consumed the completion yet, so the host-side
+		// mirror still says active)
+		if err := port.BarrierSend(p, &mcp.BarrierToken{Alg: mcp.PE}); err == nil {
+			t.Error("second barrier while active should fail")
+		}
+		if ev := port.Receive(p); ev.Kind != mcp.BarrierDoneEvent {
+			t.Errorf("expected barrier done, got %v", ev.Kind)
+		}
+		// now a new one is allowed
+		port.ProvideBarrierBuffer(p)
+		if err := port.BarrierSend(p, &mcp.BarrierToken{Alg: mcp.PE}); err != nil {
+			t.Errorf("barrier after completion: %v", err)
+		}
+		port.Receive(p)
+	}, nil)
+}
+
+func TestBarrierCompletionTag(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.ProvideBarrierBuffer(p)
+		port.BarrierSend(p, &mcp.BarrierToken{Alg: mcp.PE, Tag: "my-barrier"})
+		ev := port.Receive(p)
+		if ev.Kind != mcp.BarrierDoneEvent || ev.Tag != "my-barrier" {
+			t.Errorf("event = %+v", ev)
+		}
+	}, nil)
+}
+
+func TestPortStats(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.Send(p, mcp.Endpoint{Node: 1, Port: 2}, []byte("x"), nil)
+		port.Receive(p) // sent event
+		sent, recvd, barriers := port.Stats()
+		if sent != 1 || recvd != 1 || barriers != 0 {
+			t.Errorf("stats = %d/%d/%d", sent, recvd, barriers)
+		}
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		port.ProvideReceiveBuffer(p)
+		port.Receive(p)
+	})
+}
+
+func TestReceiveBlocksUntilDelivery(t *testing.T) {
+	var recvAt, sendAt sim.Time
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.ProvideReceiveBuffer(p)
+		port.Receive(p)
+		recvAt = p.Now()
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		p.Compute(500 * sim.Microsecond) // send late
+		sendAt = p.Now()
+		port.Send(p, mcp.Endpoint{Node: 0, Port: 2}, []byte("x"), nil)
+	})
+	if recvAt <= sendAt {
+		t.Fatalf("receive completed at %v before send at %v", recvAt, sendAt)
+	}
+}

@@ -1,0 +1,61 @@
+package gm
+
+import (
+	"fmt"
+
+	"gmsim/internal/host"
+	"gmsim/internal/mem"
+)
+
+// Memory registration — GM's pinning requirement (paper Section 4.1:
+// "Messages may only be sent from and received into buffers which are
+// pinned in memory. Memory is pinned using special functions supplied by
+// GM"). A port in strict mode refuses SendBuffer on unpinned memory, as
+// the real library does; registration goes through the driver and is
+// expensive (the reason GM programs register long-lived buffers once and
+// reuse them).
+
+// EnableStrictPinning attaches a registry to the port: from now on
+// SendBuffer requires pinned memory.
+func (pt *Port) EnableStrictPinning(r *mem.Registry) { pt.registry = r }
+
+// Registry returns the port's pinning registry (nil if not strict).
+func (pt *Port) Registry() *mem.Registry { return pt.registry }
+
+// RegisterMemory pins a buffer (gm_register_memory): a driver call whose
+// cost scales with the page count.
+func (pt *Port) RegisterMemory(p *host.Process, b *mem.Buffer) error {
+	if !pt.open {
+		return fmt.Errorf("gm: register on closed port %d", pt.num)
+	}
+	if pt.registry == nil {
+		return fmt.Errorf("gm: port %d has no pinning registry (EnableStrictPinning)", pt.num)
+	}
+	pages := (b.Len() + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	p.Compute(p.Params().MemRegisterBase + host.ScalePages(p.Params().MemRegisterPerPage, pages))
+	return pt.registry.Pin(b)
+}
+
+// DeregisterMemory unpins a buffer (gm_deregister_memory).
+func (pt *Port) DeregisterMemory(p *host.Process, b *mem.Buffer) error {
+	if !pt.open {
+		return fmt.Errorf("gm: deregister on closed port %d", pt.num)
+	}
+	if pt.registry == nil {
+		return fmt.Errorf("gm: port %d has no pinning registry", pt.num)
+	}
+	p.Compute(p.Params().MemRegisterBase / 2)
+	return pt.registry.Unpin(b)
+}
+
+// SendBuffer posts a send from a registered buffer. In strict mode the
+// buffer's pages must be pinned; without a registry it behaves like Send.
+func (pt *Port) SendBuffer(p *host.Process, dst endpointArg, b *mem.Buffer, tag any) error {
+	if pt.registry != nil && !pt.registry.Pinned(b) {
+		return fmt.Errorf("gm: send from unpinned buffer [%#x,+%d)", b.Addr(), b.Len())
+	}
+	return pt.Send(p, dst, b.Data(), tag)
+}

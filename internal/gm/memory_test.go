@@ -1,0 +1,147 @@
+package gm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/mem"
+	"gmsim/internal/sim"
+)
+
+func TestStrictPinningRejectsUnpinnedSend(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.EnableStrictPinning(mem.NewRegistry(0))
+		arena := mem.NewArena()
+		buf := arena.Alloc(64)
+		if err := port.SendBuffer(p, mcp.Endpoint{Node: 1, Port: 2}, buf, nil); err == nil {
+			t.Error("unpinned send should be rejected in strict mode")
+		}
+		if err := port.RegisterMemory(p, buf); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		copy(buf.Data(), []byte("pinned-payload"))
+		if err := port.SendBuffer(p, mcp.Endpoint{Node: 1, Port: 2}, buf, nil); err != nil {
+			t.Errorf("pinned send: %v", err)
+		}
+		port.Receive(p) // completion
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		port.ProvideReceiveBuffer(p)
+		ev := port.Receive(p)
+		if !bytes.HasPrefix(ev.Data, []byte("pinned-payload")) {
+			t.Errorf("payload = %q", ev.Data)
+		}
+	})
+}
+
+func TestPermissiveModeNeedsNoPinning(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		arena := mem.NewArena()
+		buf := arena.Alloc(8)
+		if err := port.SendBuffer(p, mcp.Endpoint{Node: 1, Port: 2}, buf, nil); err != nil {
+			t.Errorf("permissive SendBuffer: %v", err)
+		}
+		port.Receive(p)
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(1), 2)
+		port.ProvideReceiveBuffer(p)
+		port.Receive(p)
+	})
+}
+
+func TestRegisterMemoryCostScalesWithPages(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.EnableStrictPinning(mem.NewRegistry(0))
+		arena := mem.NewArena()
+		small := arena.Alloc(64)
+		big := arena.Alloc(16 * mem.PageSize)
+
+		t0 := p.Now()
+		port.RegisterMemory(p, small)
+		smallCost := p.Now() - t0
+
+		t0 = p.Now()
+		port.RegisterMemory(p, big)
+		bigCost := p.Now() - t0
+
+		if bigCost <= smallCost {
+			t.Errorf("16-page registration (%v) not costlier than 1-page (%v)", bigCost, smallCost)
+		}
+		want := p.Params().MemRegisterBase + host.ScalePages(p.Params().MemRegisterPerPage, 16)
+		if bigCost != want {
+			t.Errorf("bigCost = %v, want %v", bigCost, want)
+		}
+	}, nil)
+}
+
+func TestRegisterWithoutRegistryErrors(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		arena := mem.NewArena()
+		if err := port.RegisterMemory(p, arena.Alloc(8)); err == nil {
+			t.Error("register without registry should error")
+		}
+		if err := port.DeregisterMemory(p, arena.Alloc(8)); err == nil {
+			t.Error("deregister without registry should error")
+		}
+	}, nil)
+}
+
+func TestDeregisterThenSendFails(t *testing.T) {
+	run(t, 2, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.EnableStrictPinning(mem.NewRegistry(0))
+		arena := mem.NewArena()
+		buf := arena.Alloc(8)
+		port.RegisterMemory(p, buf)
+		if err := port.DeregisterMemory(p, buf); err != nil {
+			t.Errorf("deregister: %v", err)
+			return
+		}
+		if err := port.SendBuffer(p, mcp.Endpoint{Node: 1, Port: 2}, buf, nil); err == nil {
+			t.Error("send after deregister should fail")
+		}
+	}, func(cl *cluster.Cluster, p *host.Process) {
+		gm.Open(p, cl.MCP(1), 2)
+	})
+}
+
+func TestPinLimitSurfacesThroughGM(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.EnableStrictPinning(mem.NewRegistry(mem.PageSize))
+		arena := mem.NewArena()
+		if err := port.RegisterMemory(p, arena.Alloc(8)); err != nil {
+			t.Errorf("first register: %v", err)
+			return
+		}
+		if err := port.RegisterMemory(p, arena.Alloc(8)); err == nil {
+			t.Error("register beyond lock limit should fail")
+		}
+		if port.Registry().PinnedBytes() != mem.PageSize {
+			t.Errorf("PinnedBytes = %d", port.Registry().PinnedBytes())
+		}
+	}, nil)
+}
+
+func TestStrictPinningClosedPort(t *testing.T) {
+	run(t, 1, func(cl *cluster.Cluster, p *host.Process) {
+		port, _ := gm.Open(p, cl.MCP(0), 2)
+		port.EnableStrictPinning(mem.NewRegistry(0))
+		arena := mem.NewArena()
+		buf := arena.Alloc(8)
+		port.Close()
+		if err := port.RegisterMemory(p, buf); err == nil {
+			t.Error("register on closed port should error")
+		}
+	}, nil)
+	_ = sim.Microsecond
+}

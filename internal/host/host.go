@@ -1,0 +1,115 @@
+// Package host models the host processor side of a cluster node: the
+// per-call CPU costs of the GM API, the PCI doorbell latency between host
+// and NIC, and the process abstraction application code runs in.
+//
+// Host costs are what the paper's Section 2.2 decomposition calls Send
+// (host part), HRecv, and the per-message overhead an additional layer such
+// as MPI would add.
+package host
+
+import (
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// Params are the host-side cost parameters. Defaults are calibrated for the
+// paper's dual Pentium II 300 MHz hosts (DESIGN.md "Calibration").
+type Params struct {
+	// SendCost is the host CPU time to build a send token and write it to
+	// the NIC queue (gm_send_with_callback's host part).
+	SendCost sim.Time
+	// BarrierPostCost is the host CPU time for
+	// gm_barrier_send_with_callback: building the barrier token (the peer
+	// list or tree neighborhood was computed beforehand).
+	BarrierPostCost sim.Time
+	// DoorbellLatency is the time for a host write to become visible to
+	// the NIC across PCI.
+	DoorbellLatency sim.Time
+	// RecvDetect is the host CPU time for gm_receive to notice a newly
+	// arrived event (uncached reads of the receive queue).
+	RecvDetect sim.Time
+	// RecvProcess is the host CPU time to process a receive or
+	// barrier-completion event once detected (the paper's HRecv).
+	RecvProcess sim.Time
+	// SentEvtCost is the (cheaper) host CPU time to retire a
+	// send-completion event.
+	SentEvtCost sim.Time
+	// ProvideBufferCost is the host CPU time to post a receive or barrier
+	// buffer.
+	ProvideBufferCost sim.Time
+	// PollCost is one unsuccessful gm_receive poll (fuzzy-barrier loops).
+	PollCost sim.Time
+	// MemRegisterBase and MemRegisterPerPage are the driver costs of
+	// gm_register_memory: a system call plus per-page pinning work.
+	// Registration is deliberately expensive — GM programs register
+	// long-lived buffers once.
+	MemRegisterBase    sim.Time
+	MemRegisterPerPage sim.Time
+	// LayerOverhead models an additional messaging layer (e.g. MPI over
+	// GM): it is added to SendCost and RecvProcess on every message. The
+	// paper predicts the NIC-based barrier's factor of improvement grows
+	// with this overhead (Equation 3); experiment E8 sweeps it.
+	LayerOverhead sim.Time
+}
+
+// DefaultParams returns the calibrated host costs.
+func DefaultParams() Params {
+	return Params{
+		SendCost:           sim.FromMicros(3.0),
+		BarrierPostCost:    sim.FromMicros(3.0),
+		DoorbellLatency:    sim.FromMicros(0.6),
+		RecvDetect:         sim.FromMicros(1.5),
+		RecvProcess:        sim.FromMicros(5.0),
+		SentEvtCost:        sim.FromMicros(0.5),
+		ProvideBufferCost:  sim.FromMicros(0.5),
+		PollCost:           sim.FromMicros(0.4),
+		MemRegisterBase:    sim.FromMicros(30),
+		MemRegisterPerPage: sim.FromMicros(5),
+	}
+}
+
+// ScalePages multiplies a per-page cost by a page count.
+func ScalePages(perPage sim.Time, pages int) sim.Time { return perPage * sim.Time(pages) }
+
+// EffectiveSendCost is SendCost plus the layer overhead.
+func (p Params) EffectiveSendCost() sim.Time { return p.SendCost + p.LayerOverhead }
+
+// EffectiveRecvProcess is RecvProcess plus the layer overhead.
+func (p Params) EffectiveRecvProcess() sim.Time { return p.RecvProcess + p.LayerOverhead }
+
+// Process is one application process running on a node's host processor.
+// It wraps a simulation process and carries the host cost parameters that
+// the GM library charges on its behalf.
+type Process struct {
+	proc *sim.Proc
+	node network.NodeID
+	rank int
+	prm  Params
+}
+
+// NewProcess wraps a simulation process. Cluster code normally constructs
+// these via cluster.Spawn.
+func NewProcess(proc *sim.Proc, node network.NodeID, rank int, prm Params) *Process {
+	return &Process{proc: proc, node: node, rank: rank, prm: prm}
+}
+
+// Proc returns the underlying simulation process.
+func (p *Process) Proc() *sim.Proc { return p.proc }
+
+// Node returns the node this process runs on.
+func (p *Process) Node() network.NodeID { return p.node }
+
+// Rank returns the process's rank in its program.
+func (p *Process) Rank() int { return p.rank }
+
+// Params returns the host cost parameters.
+func (p *Process) Params() Params { return p.prm }
+
+// Now returns the current simulated time.
+func (p *Process) Now() sim.Time { return p.proc.Now() }
+
+// Compute consumes d of host CPU time (application work).
+func (p *Process) Compute(d sim.Time) { p.proc.Advance(d) }
+
+// Wait parks the process on a signal.
+func (p *Process) Wait(sig *sim.Signal) { p.proc.Wait(sig) }

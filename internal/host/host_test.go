@@ -1,0 +1,72 @@
+package host
+
+import (
+	"testing"
+
+	"gmsim/internal/sim"
+)
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.SendCost <= 0 || p.RecvProcess <= 0 || p.DoorbellLatency <= 0 ||
+		p.RecvDetect <= 0 || p.SentEvtCost <= 0 || p.ProvideBufferCost <= 0 ||
+		p.PollCost <= 0 || p.BarrierPostCost <= 0 {
+		t.Fatalf("default params have non-positive entries: %+v", p)
+	}
+	if p.LayerOverhead != 0 {
+		t.Fatal("default layer overhead should be zero")
+	}
+}
+
+func TestEffectiveCostsWithLayerOverhead(t *testing.T) {
+	p := DefaultParams()
+	if p.EffectiveSendCost() != p.SendCost {
+		t.Fatal("no-overhead send cost wrong")
+	}
+	p.LayerOverhead = sim.FromMicros(10)
+	if p.EffectiveSendCost() != p.SendCost+sim.FromMicros(10) {
+		t.Fatal("effective send cost ignores overhead")
+	}
+	if p.EffectiveRecvProcess() != p.RecvProcess+sim.FromMicros(10) {
+		t.Fatal("effective recv cost ignores overhead")
+	}
+}
+
+func TestProcessAccessorsAndCompute(t *testing.T) {
+	s := sim.New()
+	var hp *Process
+	proc := s.Spawn("p", func(p *sim.Proc) {
+		hp.Compute(100 * sim.Microsecond)
+	})
+	hp = NewProcess(proc, 3, 7, DefaultParams())
+	s.Run()
+	if hp.Node() != 3 || hp.Rank() != 7 {
+		t.Fatalf("node/rank = %v/%v", hp.Node(), hp.Rank())
+	}
+	if hp.Proc() != proc {
+		t.Fatal("Proc() mismatch")
+	}
+	if hp.Now() != 100*sim.Microsecond {
+		t.Fatalf("Now = %v after Compute(100us)", hp.Now())
+	}
+	if hp.Params().SendCost != DefaultParams().SendCost {
+		t.Fatal("Params() mismatch")
+	}
+}
+
+func TestProcessWait(t *testing.T) {
+	s := sim.New()
+	sig := s.NewSignal()
+	var woke sim.Time
+	var hp *Process
+	proc := s.Spawn("p", func(p *sim.Proc) {
+		hp.Wait(sig)
+		woke = p.Now()
+	})
+	hp = NewProcess(proc, 0, 0, DefaultParams())
+	s.After(250, sig.Fire)
+	s.Run()
+	if woke != 250 {
+		t.Fatalf("woke at %v, want 250", woke)
+	}
+}

@@ -1,0 +1,178 @@
+// Package lanai models the programmable Myrinet NIC ("LANai") hardware:
+// a slow firmware processor that serializes all control work, and two DMA
+// engines that move data across the host PCI bus concurrently with the
+// processor.
+//
+// The paper's two cards are provided as models: LANai 4.3 with a 33 MHz
+// processor and LANai 7.2 with a 66 MHz processor. Firmware costs are
+// expressed in processor cycles (see package mcp), so moving firmware from
+// a 4.3 to a 7.2 card halves its execution time — exactly the experiment
+// the paper runs in Figure 5(c)/(d).
+package lanai
+
+import (
+	"fmt"
+
+	"gmsim/internal/sim"
+)
+
+// Model describes a LANai NIC generation.
+type Model struct {
+	// Name is the card name as the paper gives it, e.g. "LANai 4.3".
+	Name string
+	// ClockMHz is the firmware processor clock.
+	ClockMHz float64
+	// SDMA and RDMA describe the two DMA engines (host memory -> NIC
+	// transmit buffers, and NIC receive buffers -> host memory).
+	SDMA, RDMA DMAParams
+}
+
+// DMAParams describes one DMA engine's path across the PCI bus.
+type DMAParams struct {
+	// Startup is the fixed per-transfer cost (descriptor fetch, bus
+	// acquisition).
+	Startup sim.Time
+	// BandwidthMBps is the sustained transfer rate. 32-bit 33 MHz PCI of
+	// the paper's era peaks at 132 MB/s.
+	BandwidthMBps float64
+}
+
+// transferTime returns startup plus the time to move n bytes.
+func (d DMAParams) transferTime(n int) sim.Time {
+	t := d.Startup
+	if n > 0 {
+		t += sim.Time(float64(n)/d.BandwidthMBps*1000 + 0.5)
+	}
+	return t
+}
+
+// LANai43 returns the model for the paper's 33 MHz LANai 4.3 card.
+func LANai43() Model {
+	return Model{
+		Name:     "LANai 4.3",
+		ClockMHz: 33,
+		SDMA:     DMAParams{Startup: 1500 * sim.Nanosecond, BandwidthMBps: 132},
+		RDMA:     DMAParams{Startup: 1500 * sim.Nanosecond, BandwidthMBps: 132},
+	}
+}
+
+// LANai72 returns the model for the paper's 66 MHz LANai 7.2 card.
+// The DMA path (PCI) is unchanged; only the processor is faster.
+func LANai72() Model {
+	return Model{
+		Name:     "LANai 7.2",
+		ClockMHz: 66,
+		SDMA:     DMAParams{Startup: 1500 * sim.Nanosecond, BandwidthMBps: 132},
+		RDMA:     DMAParams{Startup: 1500 * sim.Nanosecond, BandwidthMBps: 132},
+	}
+}
+
+// Cycles converts a firmware cycle count to simulated time on this model.
+func (m Model) Cycles(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n)/m.ClockMHz*1000 + 0.5)
+}
+
+func (m Model) String() string { return fmt.Sprintf("%s (%.0f MHz)", m.Name, m.ClockMHz) }
+
+// NIC is one card: a serializing firmware CPU plus two DMA engines.
+// The firmware itself lives in package mcp; it drives the NIC through
+// Exec, StartSDMA and StartRDMA.
+type NIC struct {
+	sim   *sim.Simulator
+	model Model
+
+	cpuFree  sim.Time
+	cpuBusy  sim.Time // accumulated busy time
+	cpuTasks int64
+
+	sdma *DMAEngine
+	rdma *DMAEngine
+}
+
+// NewNIC creates a card of the given model on the simulator.
+func NewNIC(s *sim.Simulator, model Model) *NIC {
+	return &NIC{
+		sim:   s,
+		model: model,
+		sdma:  &DMAEngine{sim: s, params: model.SDMA},
+		rdma:  &DMAEngine{sim: s, params: model.RDMA},
+	}
+}
+
+// Sim returns the simulator.
+func (n *NIC) Sim() *sim.Simulator { return n.sim }
+
+// Model returns the card model.
+func (n *NIC) Model() Model { return n.model }
+
+// Exec schedules fn to run after the firmware processor has spent the given
+// number of cycles on it. The processor is a serial resource: if it is
+// already committed to earlier tasks, this task queues behind them (FIFO).
+// fn runs at the task's completion instant. This serialization is what
+// makes a slow NIC processor visible in barrier latency (the paper's
+// LANai 4.3 vs 7.2 comparison, and the 2-node GB anomaly).
+func (n *NIC) Exec(cycles int64, fn func()) {
+	start := n.sim.Now()
+	if n.cpuFree > start {
+		start = n.cpuFree
+	}
+	dur := n.model.Cycles(cycles)
+	n.cpuFree = start + dur
+	n.cpuBusy += dur
+	n.cpuTasks++
+	n.sim.At(n.cpuFree, fn)
+}
+
+// CPUBusyTime returns total firmware processor busy time so far.
+func (n *NIC) CPUBusyTime() sim.Time { return n.cpuBusy }
+
+// CPUTasks returns the number of firmware tasks executed or queued.
+func (n *NIC) CPUTasks() int64 { return n.cpuTasks }
+
+// CPUFreeAt returns the instant the processor becomes idle given current
+// commitments.
+func (n *NIC) CPUFreeAt() sim.Time { return n.cpuFree }
+
+// SDMA returns the host-to-NIC DMA engine.
+func (n *NIC) SDMA() *DMAEngine { return n.sdma }
+
+// RDMA returns the NIC-to-host DMA engine.
+func (n *NIC) RDMA() *DMAEngine { return n.rdma }
+
+// DMAEngine is one direction of the PCI DMA path: a serial resource with a
+// per-transfer startup cost and a sustained bandwidth.
+type DMAEngine struct {
+	sim       *sim.Simulator
+	params    DMAParams
+	free      sim.Time
+	busy      sim.Time
+	transfers int64
+	bytes     int64
+}
+
+// Start schedules a transfer of n bytes; fn runs when the transfer
+// completes. Transfers on the same engine serialize FIFO.
+func (d *DMAEngine) Start(n int, fn func()) {
+	start := d.sim.Now()
+	if d.free > start {
+		start = d.free
+	}
+	dur := d.params.transferTime(n)
+	d.free = start + dur
+	d.busy += dur
+	d.transfers++
+	d.bytes += int64(n)
+	d.sim.At(d.free, fn)
+}
+
+// Transfers returns the number of transfers started.
+func (d *DMAEngine) Transfers() int64 { return d.transfers }
+
+// Bytes returns the total bytes transferred.
+func (d *DMAEngine) Bytes() int64 { return d.bytes }
+
+// BusyTime returns accumulated engine busy time.
+func (d *DMAEngine) BusyTime() sim.Time { return d.busy }

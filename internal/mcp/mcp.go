@@ -1,0 +1,554 @@
+package mcp
+
+import (
+	"fmt"
+
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// MCP is one NIC's firmware instance.
+type MCP struct {
+	sim     *sim.Simulator
+	nic     *lanai.NIC
+	cfg     Config
+	iface   *network.Iface
+	routeTo func(network.NodeID) ([]byte, error)
+
+	ports []*Port
+	conns map[network.NodeID]*Connection
+
+	// pendingClosed records barrier messages that arrived for closed
+	// local ports, keyed by the closed port number (Section 3.2).
+	pendingClosed map[int][]pendingClosed
+
+	// lastGB keeps, per port, the most recently completed GB token so a
+	// broadcast rejected by a then-closed child can be reconstructed.
+	lastGB []*BarrierToken
+	// lastColl is the collective analogue of lastGB.
+	lastColl []*CollToken
+
+	stats Stats
+}
+
+// New creates the firmware for a NIC. Attach must be called before any
+// traffic flows.
+func New(nic *lanai.NIC, cfg Config) *MCP {
+	if cfg.NumPorts <= 0 || cfg.NumPorts > 8 {
+		panic(fmt.Sprintf("mcp: NumPorts %d out of range (GM allows 1..8)", cfg.NumPorts))
+	}
+	m := &MCP{
+		sim:           nic.Sim(),
+		nic:           nic,
+		cfg:           cfg,
+		conns:         make(map[network.NodeID]*Connection),
+		pendingClosed: make(map[int][]pendingClosed),
+		lastGB:        make([]*BarrierToken, cfg.NumPorts),
+		lastColl:      make([]*CollToken, cfg.NumPorts),
+	}
+	m.ports = make([]*Port, cfg.NumPorts)
+	for i := range m.ports {
+		m.ports[i] = &Port{num: i}
+	}
+	return m
+}
+
+// Attach connects the firmware to its network interface and route source.
+// The cluster layer wires HandleDelivered as the interface's receive
+// callback.
+func (m *MCP) Attach(iface *network.Iface, routeTo func(network.NodeID) ([]byte, error)) {
+	m.iface = iface
+	m.routeTo = routeTo
+}
+
+// Node returns the NIC's fabric identity.
+func (m *MCP) Node() network.NodeID { return m.cfg.Node }
+
+// NIC returns the underlying hardware model.
+func (m *MCP) NIC() *lanai.NIC { return m.nic }
+
+// Stats returns a snapshot of the firmware counters.
+func (m *MCP) Stats() Stats { return m.stats }
+
+// Port returns the NIC-side port structure (read-only use by tests).
+func (m *MCP) Port(n int) *Port { return m.ports[n] }
+
+// conn returns (creating if needed) the connection to a peer NIC.
+func (m *MCP) conn(peer network.NodeID) *Connection {
+	c, ok := m.conns[peer]
+	if !ok {
+		c = &Connection{peer: peer}
+		m.conns[peer] = c
+	}
+	return c
+}
+
+func (m *MCP) validPort(n int) bool { return n >= 0 && n < len(m.ports) }
+
+// ---------------------------------------------------------------------------
+// Host-facing operations. The GM library (package gm) calls these after
+// charging host-side costs and the host->NIC doorbell latency, so each
+// method runs at the simulated instant the NIC can first observe the
+// request.
+// ---------------------------------------------------------------------------
+
+// OpenPort opens an endpoint and installs the host event delivery hook.
+// Under the adopted closed-port protocol (Section 3.2), any barrier
+// messages recorded while the port was closed are rejected back to their
+// senders, which resend them if their barrier is still in flight.
+func (m *MCP) OpenPort(n int, deliver func(HostEvent)) error {
+	if !m.validPort(n) {
+		return fmt.Errorf("mcp: no port %d", n)
+	}
+	p := m.ports[n]
+	if p.open {
+		return fmt.Errorf("mcp: port %d already open", n)
+	}
+	p.open = true
+	p.epoch++
+	p.recvTokens = 0
+	p.barrierBufs = 0
+	p.sendsInFlight = 0
+	p.barrier = nil
+	p.barrierPending = false
+	p.coll = nil
+	p.collPending = false
+	p.collBufs = 0
+	p.deliver = deliver
+	m.lastGB[n] = nil
+	m.lastColl[n] = nil
+
+	if m.cfg.ClearUnexpectedOnOpen {
+		// Naive alternative: clear the record of messages destined for
+		// this endpoint.
+		for _, c := range m.conns {
+			for sp := range c.unexp {
+				if c.unexp[sp].present && c.unexp[sp].dstPort == n {
+					c.unexp[sp] = unexpRec{}
+				}
+			}
+		}
+		delete(m.pendingClosed, n)
+		return nil
+	}
+	pend := m.pendingClosed[n]
+	delete(m.pendingClosed, n)
+	for _, rec := range pend {
+		rec := rec
+		m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+			m.stats.BarrierRejects++
+			m.transmitFrame(&Frame{
+				Kind:        BarrierRejectFrame,
+				SrcNode:     m.cfg.Node,
+				SrcPort:     n,
+				DstNode:     rec.src.Node,
+				DstPort:     rec.src.Port,
+				SrcEpoch:    rec.srcEpoch,
+				OrigKind:    rec.kind,
+				OrigDstPort: rec.dstPort,
+			})
+		})
+	}
+	return nil
+}
+
+// ClosePort closes an endpoint. In-flight state is discarded; the
+// closed-port protocol covers barrier messages that arrive afterwards.
+func (m *MCP) ClosePort(n int) error {
+	if !m.validPort(n) {
+		return fmt.Errorf("mcp: no port %d", n)
+	}
+	p := m.ports[n]
+	if !p.open {
+		return fmt.Errorf("mcp: port %d not open", n)
+	}
+	p.open = false
+	p.barrier = nil
+	p.barrierPending = false
+	p.coll = nil
+	p.collPending = false
+	p.deliver = nil
+	m.lastGB[n] = nil
+	m.lastColl[n] = nil
+	return nil
+}
+
+// PostReceiveToken provides one host receive buffer to the port
+// (gm_provide_receive_buffer).
+func (m *MCP) PostReceiveToken(n int) error {
+	if !m.validPort(n) || !m.ports[n].open {
+		return fmt.Errorf("mcp: receive token for closed port %d", n)
+	}
+	m.ports[n].recvTokens++
+	return nil
+}
+
+// PostBarrierBuffer provides one barrier completion buffer
+// (gm_provide_barrier_buffer, Section 5.2).
+func (m *MCP) PostBarrierBuffer(n int) error {
+	if !m.validPort(n) || !m.ports[n].open {
+		return fmt.Errorf("mcp: barrier buffer for closed port %d", n)
+	}
+	m.ports[n].barrierBufs++
+	return nil
+}
+
+// PostSendToken accepts a data send descriptor. The SDMA state machine
+// notices it, DMAs the payload from host memory, prepares the packet,
+// appends it to the connection's sent list and hands it to SEND.
+func (m *MCP) PostSendToken(tok *SendToken) error {
+	if !m.validPort(tok.SrcPort) || !m.ports[tok.SrcPort].open {
+		return fmt.Errorf("mcp: send from closed port %d", tok.SrcPort)
+	}
+	p := m.ports[tok.SrcPort]
+	if p.sendsInFlight >= m.cfg.MaxSendTokens {
+		return fmt.Errorf("mcp: port %d out of send tokens", tok.SrcPort)
+	}
+	p.sendsInFlight++
+	pr := m.cfg.Params
+	m.nic.Exec(pr.SDMAPoll, func() {
+		m.nic.SDMA().Start(len(tok.Data), func() {
+			m.nic.Exec(pr.SDMAPrep+pr.SendXmit, func() {
+				c := m.conn(tok.Dst.Node)
+				f := &Frame{
+					Kind:     DataFrame,
+					SrcNode:  m.cfg.Node,
+					SrcPort:  tok.SrcPort,
+					DstNode:  tok.Dst.Node,
+					DstPort:  tok.Dst.Port,
+					Seq:      c.sendSeq,
+					Data:     tok.Data,
+					SrcEpoch: p.epoch,
+				}
+				c.sendSeq++
+				c.sentList = append(c.sentList, &sentItem{frame: f, tok: tok})
+				m.armRetransTimer(c)
+				m.stats.DataSent++
+				m.transmitFrame(f)
+			})
+		})
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// SEND state machine and wire I/O.
+// ---------------------------------------------------------------------------
+
+// transmitFrame hands one prepared frame to the transmit interface (or the
+// NIC-internal loopback path when the destination is this NIC). The SEND
+// state machine's per-packet cost (SendXmit) is charged by the caller as
+// part of the packet-preparation task, so a single packet's prepare-and-
+// transmit is one uninterruptible unit of firmware work — later-arriving
+// tasks (e.g. the next barrier's token) cannot interleave between them.
+func (m *MCP) transmitFrame(f *Frame) {
+	if f.DstNode == m.cfg.Node {
+		m.sim.After(m.cfg.Params.LoopbackDelay, func() { m.receiveFrame(f) })
+		return
+	}
+	if m.iface == nil || m.routeTo == nil {
+		panic("mcp: transmit before Attach")
+	}
+	r, err := m.routeTo(f.DstNode)
+	if err != nil {
+		m.stats.ProtocolErrors++
+		return
+	}
+	m.iface.Transmit(&network.Packet{
+		Route:   append([]byte(nil), r...),
+		Src:     m.cfg.Node,
+		Dst:     f.DstNode,
+		Size:    f.WireSize(),
+		Payload: f,
+	})
+}
+
+// HandleDelivered is the fabric receive callback: a packet has fully
+// arrived at this NIC.
+func (m *MCP) HandleDelivered(p *network.Packet) {
+	f, ok := p.Payload.(*Frame)
+	if !ok {
+		m.stats.ProtocolErrors++
+		return
+	}
+	m.receiveFrame(f)
+}
+
+// receiveFrame charges the RECV state machine's classification cost and
+// dispatches.
+func (m *MCP) receiveFrame(f *Frame) {
+	pr := m.cfg.Params
+	var cost int64
+	switch f.Kind {
+	case DataFrame:
+		cost = pr.RecvData
+	case AckFrame, NackFrame, BarrierAckFrame, BarrierRejectFrame:
+		cost = pr.RecvCtl
+	case BarrierPEFrame:
+		cost = pr.BarrierRecv
+	case BarrierGatherFrame, BarrierBcastFrame:
+		cost = pr.GBRecv
+	case ReduceFrame, CollBcastFrame:
+		cost = pr.GBRecv + pr.CollPerElem*int64(len(f.Data)/ElemBytes)
+	default:
+		m.stats.ProtocolErrors++
+		return
+	}
+	m.nic.Exec(cost, func() { m.handleFrame(f) })
+}
+
+func (m *MCP) handleFrame(f *Frame) {
+	switch f.Kind {
+	case DataFrame:
+		m.handleData(f)
+	case AckFrame:
+		m.handleAck(f)
+	case NackFrame:
+		m.handleNack(f)
+	case BarrierPEFrame, BarrierGatherFrame, BarrierBcastFrame:
+		m.handleBarrier(f)
+	case ReduceFrame, CollBcastFrame:
+		m.handleCollective(f)
+	case BarrierAckFrame:
+		m.handleBarrierAck(f)
+	case BarrierRejectFrame:
+		if f.OrigKind == ReduceFrame || f.OrigKind == CollBcastFrame {
+			m.handleCollectiveReject(f)
+		} else {
+			m.handleBarrierReject(f)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RECV/RDMA state machines: reliable data path.
+// ---------------------------------------------------------------------------
+
+func (m *MCP) handleData(f *Frame) {
+	m.stats.DataRecv++
+	c := m.conn(f.SrcNode)
+	switch {
+	case f.Seq == c.recvSeq:
+		if !m.validPort(f.DstPort) || !m.ports[f.DstPort].open {
+			// Data for a closed port: drop without ack; the sender's
+			// timer will retry (and keep failing) — GM treats this as a
+			// host-level error.
+			m.stats.ProtocolErrors++
+			return
+		}
+		p := m.ports[f.DstPort]
+		if p.recvTokens == 0 {
+			// Receive-side flow control: no buffer, do not accept. Tell
+			// the sender the connection is alive but busy (no-buffer
+			// nack): it will retry on its timer without counting the
+			// rounds toward connection death.
+			m.stats.NoRecvToken++
+			m.sendNoBufferNack(c)
+			return
+		}
+		c.recvSeq++
+		p.recvTokens--
+		m.sendAck(c)
+		// RDMA machine: move payload plus event record to host memory.
+		pr := m.cfg.Params
+		m.nic.Exec(pr.RDMAProc, func() {
+			m.nic.RDMA().Start(eventRecordBytes+len(f.Data), func() {
+				m.stats.DataDelivered++
+				m.deliverHost(p, HostEvent{
+					Kind: RecvEvent,
+					Src:  Endpoint{Node: f.SrcNode, Port: f.SrcPort},
+					Data: f.Data,
+				})
+			})
+		})
+	case seqLess(f.Seq, c.recvSeq):
+		m.stats.Duplicates++
+		m.sendAck(c) // re-ack so the sender can advance
+	default:
+		m.stats.OutOfOrder++
+		m.sendNack(c)
+	}
+}
+
+func (m *MCP) sendAck(c *Connection) {
+	m.stats.AcksSent++
+	seq := c.recvSeq
+	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+		m.transmitFrame(&Frame{
+			Kind:    AckFrame,
+			SrcNode: m.cfg.Node,
+			DstNode: c.peer,
+			AckSeq:  seq,
+		})
+	})
+}
+
+func (m *MCP) sendNoBufferNack(c *Connection) {
+	m.stats.NacksSent++
+	seq := c.recvSeq
+	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+		m.transmitFrame(&Frame{
+			Kind:     NackFrame,
+			SrcNode:  m.cfg.Node,
+			DstNode:  c.peer,
+			AckSeq:   seq,
+			NoBuffer: true,
+		})
+	})
+}
+
+func (m *MCP) sendNack(c *Connection) {
+	m.stats.NacksSent++
+	seq := c.recvSeq
+	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+		m.transmitFrame(&Frame{
+			Kind:    NackFrame,
+			SrcNode: m.cfg.Node,
+			DstNode: c.peer,
+			AckSeq:  seq,
+		})
+	})
+}
+
+// handleAck removes acknowledged sends from the sent list and returns their
+// tokens to the host (SentEvent).
+func (m *MCP) handleAck(f *Frame) {
+	c := m.conn(f.SrcNode)
+	var done []*sentItem
+	for len(c.sentList) > 0 && seqLess(c.sentList[0].frame.Seq, f.AckSeq) {
+		done = append(done, c.sentList[0])
+		c.sentList = c.sentList[1:]
+	}
+	if len(done) > 0 {
+		c.retryRounds = 0
+	}
+	m.rearmRetransTimer(c)
+	pr := m.cfg.Params
+	for _, it := range done {
+		it := it
+		p := m.ports[it.tok.SrcPort]
+		m.nic.Exec(pr.SentEvtProc, func() {
+			m.nic.RDMA().Start(eventRecordBytes, func() {
+				if p.sendsInFlight > 0 {
+					p.sendsInFlight--
+				}
+				m.deliverHost(p, HostEvent{Kind: SentEvent, Tag: it.tok.Tag})
+			})
+		})
+	}
+}
+
+// handleNack rewinds the connection: everything the receiver has not
+// accepted goes back on the wire in order (go-back-N).
+func (m *MCP) handleNack(f *Frame) {
+	c := m.conn(f.SrcNode)
+	// Acked prefix (if any) completes as usual.
+	m.handleAck(&Frame{SrcNode: f.SrcNode, AckSeq: f.AckSeq})
+	if f.NoBuffer {
+		// The peer is alive but out of receive buffers: retry on the
+		// timer, and do not let the starvation kill the connection.
+		c.retryRounds = 0
+		m.armRetransTimer(c)
+		return
+	}
+	m.retransmitData(c)
+}
+
+func (m *MCP) retransmitData(c *Connection) {
+	if m.giveUpIfExhausted(c) {
+		return
+	}
+	pr := m.cfg.Params
+	for _, it := range c.sentList {
+		it := it
+		m.stats.Retransmissions++
+		m.nic.Exec(pr.Retrans+pr.SendXmit, func() { m.transmitFrame(it.frame) })
+	}
+	m.rearmRetransTimer(c)
+}
+
+// giveUpIfExhausted counts one retransmission round and, past MaxRetries
+// consecutive rounds without acknowledgment progress, declares the
+// connection dead. It returns true when the round should not be sent.
+func (m *MCP) giveUpIfExhausted(c *Connection) bool {
+	if m.cfg.Params.MaxRetries <= 0 {
+		return false
+	}
+	c.retryRounds++
+	if c.retryRounds > m.cfg.Params.MaxRetries {
+		m.failConnection(c)
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission timer (shared by data and reliable-barrier traffic).
+// ---------------------------------------------------------------------------
+
+func (m *MCP) armRetransTimer(c *Connection) {
+	if c.retransTimer != 0 {
+		return
+	}
+	if len(c.sentList) == 0 && len(c.barrierSent) == 0 {
+		return
+	}
+	id := m.sim.After(m.cfg.Params.RetransTimeout, func() {
+		c.retransTimer = 0
+		m.timerFire(c)
+	})
+	c.retransTimer = int64(id)
+}
+
+func (m *MCP) rearmRetransTimer(c *Connection) {
+	if c.retransTimer != 0 {
+		m.sim.Cancel(sim.EventID(c.retransTimer))
+		c.retransTimer = 0
+	}
+	m.armRetransTimer(c)
+}
+
+func (m *MCP) timerFire(c *Connection) {
+	if len(c.sentList) > 0 {
+		m.retransmitData(c)
+	}
+	if len(c.barrierSent) > 0 {
+		m.retransmitBarrier(c)
+	}
+	m.armRetransTimer(c)
+}
+
+// failConnection gives up on a peer that has not acknowledged anything for
+// MaxRetries retransmission rounds: unacknowledged sends are dropped and
+// their tokens returned to the host marked failed (GM's connection-dead
+// behavior).
+func (m *MCP) failConnection(c *Connection) {
+	m.stats.ConnFailures++
+	failed := c.sentList
+	c.sentList = nil
+	c.barrierSent = nil
+	c.retryRounds = 0
+	pr := m.cfg.Params
+	for _, it := range failed {
+		it := it
+		p := m.ports[it.tok.SrcPort]
+		m.nic.Exec(pr.SentEvtProc, func() {
+			m.nic.RDMA().Start(eventRecordBytes, func() {
+				if p.sendsInFlight > 0 {
+					p.sendsInFlight--
+				}
+				m.deliverHost(p, HostEvent{Kind: SentEvent, Tag: it.tok.Tag, Failed: true})
+			})
+		})
+	}
+}
+
+// deliverHost hands a completed event to the GM library layer.
+func (m *MCP) deliverHost(p *Port, ev HostEvent) {
+	if !p.open || p.deliver == nil {
+		m.stats.ProtocolErrors++
+		return
+	}
+	p.deliver(ev)
+}

@@ -1,0 +1,759 @@
+package mcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// rig is a test harness: n MCPs on a single-switch fabric, with host events
+// captured per (node, port).
+type rig struct {
+	s      *sim.Simulator
+	fab    *network.Fabric
+	mcps   []*MCP
+	events map[string][]HostEvent
+}
+
+func key(node, port int) string { return fmt.Sprintf("%d:%d", node, port) }
+
+func newRig(t *testing.T, n int, mutate func(i int, cfg *Config)) *rig {
+	t.Helper()
+	r := &rig{s: sim.New(), events: make(map[string][]HostEvent)}
+	r.fab = network.New(r.s)
+	sw := r.fab.AddSwitch(network.DefaultSwitchParams(n))
+	for i := 0; i < n; i++ {
+		node := network.NodeID(i)
+		nic := lanai.NewNIC(r.s, lanai.LANai43())
+		cfg := DefaultConfig(node)
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		m := New(nic, cfg)
+		iface := r.fab.AttachNIC(node, sw, i, network.DefaultLinkParams(), m.HandleDelivered)
+		m.Attach(iface, func(dst network.NodeID) ([]byte, error) { return r.fab.Route(node, dst) })
+		r.mcps = append(r.mcps, m)
+	}
+	return r
+}
+
+// open opens a port and records its delivered events.
+func (r *rig) open(t *testing.T, node, port int) {
+	t.Helper()
+	k := key(node, port)
+	if err := r.mcps[node].OpenPort(port, func(ev HostEvent) {
+		r.events[k] = append(r.events[k], ev)
+	}); err != nil {
+		t.Fatalf("open %s: %v", k, err)
+	}
+}
+
+func (r *rig) provide(t *testing.T, node, port, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.mcps[node].PostReceiveToken(port); err != nil {
+			t.Fatalf("provide: %v", err)
+		}
+	}
+}
+
+func (r *rig) recvEvents(node, port int) []HostEvent {
+	var out []HostEvent
+	for _, ev := range r.events[key(node, port)] {
+		if ev.Kind == RecvEvent {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func (r *rig) barrierDone(node, port int) int {
+	n := 0
+	for _, ev := range r.events[key(node, port)] {
+		if ev.Kind == BarrierDoneEvent {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSeqCompare(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		less bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{^uint32(0), 0, true},     // wraparound
+		{^uint32(0) - 3, 2, true}, // across the wrap
+		{0, 1 << 31, false},       // exactly half the space: not less
+		{0, 1<<31 - 1, true},      // just under half
+		{1 << 31, 0, false},
+	}
+	for _, c := range cases {
+		if got := seqLess(c.a, c.b); got != c.less {
+			t.Errorf("seqLess(%d,%d) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if !seqLEq(7, 7) || !seqLEq(7, 8) || seqLEq(8, 7) {
+		t.Error("seqLEq wrong")
+	}
+}
+
+func TestFrameKindStrings(t *testing.T) {
+	for k := DataFrame; k <= BarrierRejectFrame; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", int(k))
+		}
+	}
+	if FrameKind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind string wrong")
+	}
+	if !BarrierPEFrame.IsBarrier() || AckFrame.IsBarrier() || BarrierAckFrame.IsBarrier() {
+		t.Fatal("IsBarrier wrong")
+	}
+}
+
+func TestFrameWireSize(t *testing.T) {
+	f := &Frame{Kind: DataFrame, Data: make([]byte, 100)}
+	if f.WireSize() != HeaderBytes+100 {
+		t.Fatalf("WireSize = %d", f.WireSize())
+	}
+	b := &Frame{Kind: BarrierPEFrame}
+	if b.WireSize() != HeaderBytes {
+		t.Fatalf("barrier WireSize = %d", b.WireSize())
+	}
+	if f.String() == "" || (Endpoint{1, 2}).String() != "1:2" {
+		t.Fatal("String helpers wrong")
+	}
+}
+
+func TestDataDelivery(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.provide(t, 1, 2, 4)
+	payload := []byte("hello world")
+	if err := r.mcps[0].PostSendToken(&SendToken{
+		SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: payload, Tag: "t1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.s.Run()
+	evs := r.recvEvents(1, 2)
+	if len(evs) != 1 {
+		t.Fatalf("got %d recv events, want 1", len(evs))
+	}
+	if !bytes.Equal(evs[0].Data, payload) {
+		t.Fatalf("payload = %q", evs[0].Data)
+	}
+	if evs[0].Src != (Endpoint{Node: 0, Port: 2}) {
+		t.Fatalf("src = %v", evs[0].Src)
+	}
+	// Sender got a completion with its tag.
+	var sent int
+	for _, ev := range r.events[key(0, 2)] {
+		if ev.Kind == SentEvent && ev.Tag == "t1" {
+			sent++
+		}
+	}
+	if sent != 1 {
+		t.Fatalf("sent events = %d", sent)
+	}
+	st := r.mcps[0].Stats()
+	if st.DataSent != 1 || st.Retransmissions != 0 {
+		t.Fatalf("sender stats = %+v", st)
+	}
+}
+
+func TestDataOrderingManyMessages(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.provide(t, 1, 2, 50)
+	for i := 0; i < 10; i++ {
+		if err := r.mcps[0].PostSendToken(&SendToken{
+			SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.s.Run()
+	evs := r.recvEvents(1, 2)
+	if len(evs) != 10 {
+		t.Fatalf("got %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Data[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, ev.Data[0])
+		}
+	}
+}
+
+func TestDataLossRecovered(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.provide(t, 1, 2, 20)
+	// Drop the first data packet once.
+	dropped := false
+	r.fab.SetLossFunc(func(p *network.Packet) bool {
+		f, ok := p.Payload.(*Frame)
+		if ok && f.Kind == DataFrame && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	for i := 0; i < 5; i++ {
+		if err := r.mcps[0].PostSendToken(&SendToken{
+			SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.s.Run()
+	evs := r.recvEvents(1, 2)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5 (loss not recovered)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Data[0] != byte(i) {
+			t.Fatalf("message %d out of order after recovery: got %d", i, ev.Data[0])
+		}
+	}
+	st := r.mcps[0].Stats()
+	if st.Retransmissions == 0 {
+		t.Fatal("expected retransmissions")
+	}
+	rst := r.mcps[1].Stats()
+	if rst.OutOfOrder == 0 && rst.NacksSent == 0 {
+		t.Fatalf("receiver should have nacked: %+v", rst)
+	}
+}
+
+func TestDataHeavyRandomLoss(t *testing.T) {
+	// 10% random loss on every hop: all 40 messages still arrive exactly
+	// once, in order.
+	r := newRig(t, 2, func(i int, cfg *Config) { cfg.MaxSendTokens = 64 })
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.provide(t, 1, 2, 100)
+	r.fab.SetLossRate(0.1, 1234)
+	for i := 0; i < 40; i++ {
+		if err := r.mcps[0].PostSendToken(&SendToken{
+			SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.s.Run()
+	evs := r.recvEvents(1, 2)
+	if len(evs) != 40 {
+		t.Fatalf("got %d events, want 40", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Data[0] != byte(i) {
+			t.Fatalf("message %d wrong: got %d", i, ev.Data[0])
+		}
+	}
+}
+
+func TestAckLossRecoveredByTimer(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.provide(t, 1, 2, 10)
+	dropped := false
+	r.fab.SetLossFunc(func(p *network.Packet) bool {
+		f, ok := p.Payload.(*Frame)
+		if ok && f.Kind == AckFrame && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	if err := r.mcps[0].PostSendToken(&SendToken{
+		SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte("x"), Tag: "t",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.s.Run()
+	// Message delivered once (duplicate suppressed), sender completion
+	// eventually arrives via retransmit + re-ack.
+	if got := len(r.recvEvents(1, 2)); got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+	if r.mcps[1].Stats().Duplicates == 0 {
+		t.Fatal("expected duplicate detection after timer retransmit")
+	}
+	var sent int
+	for _, ev := range r.events[key(0, 2)] {
+		if ev.Kind == SentEvent {
+			sent++
+		}
+	}
+	if sent != 1 {
+		t.Fatalf("sent completions = %d, want 1", sent)
+	}
+}
+
+func TestNoRecvTokenFlowControl(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2) // no receive buffers provided
+	if err := r.mcps[0].PostSendToken(&SendToken{
+		SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the first attempt fail, then provide a buffer and let the
+	// retransmit timer deliver it.
+	r.s.RunUntil(500 * sim.Microsecond)
+	if got := len(r.recvEvents(1, 2)); got != 0 {
+		t.Fatalf("delivered %d without a buffer", got)
+	}
+	if r.mcps[1].Stats().NoRecvToken == 0 {
+		t.Fatal("NoRecvToken not counted")
+	}
+	r.provide(t, 1, 2, 1)
+	r.s.Run()
+	if got := len(r.recvEvents(1, 2)); got != 1 {
+		t.Fatalf("delivered %d after providing buffer, want 1", got)
+	}
+}
+
+func TestSendToClosedPortCounted(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	// Port 2 on node 1 never opened.
+	if err := r.mcps[0].PostSendToken(&SendToken{
+		SrcPort: 2, Dst: Endpoint{Node: 1, Port: 2}, Data: []byte("x"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunUntil(3 * sim.Millisecond)
+	if r.mcps[1].Stats().ProtocolErrors == 0 {
+		t.Fatal("data to closed port should count as protocol error")
+	}
+}
+
+func TestOpenCloseErrors(t *testing.T) {
+	r := newRig(t, 1, nil)
+	m := r.mcps[0]
+	if err := m.OpenPort(99, nil); err == nil {
+		t.Fatal("open invalid port should error")
+	}
+	r.open(t, 0, 2)
+	if err := m.OpenPort(2, nil); err == nil {
+		t.Fatal("double open should error")
+	}
+	if err := m.ClosePort(3); err == nil {
+		t.Fatal("close unopened should error")
+	}
+	if err := m.ClosePort(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ClosePort(2); err == nil {
+		t.Fatal("double close should error")
+	}
+	if err := m.PostReceiveToken(2); err == nil {
+		t.Fatal("receive token for closed port should error")
+	}
+	if err := m.PostBarrierBuffer(2); err == nil {
+		t.Fatal("barrier buffer for closed port should error")
+	}
+}
+
+func TestSendTokenExhaustion(t *testing.T) {
+	r := newRig(t, 2, func(i int, cfg *Config) { cfg.MaxSendTokens = 2 })
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	ep := Endpoint{Node: 1, Port: 2}
+	if err := r.mcps[0].PostSendToken(&SendToken{SrcPort: 2, Dst: ep, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mcps[0].PostSendToken(&SendToken{SrcPort: 2, Dst: ep, Data: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mcps[0].PostSendToken(&SendToken{SrcPort: 2, Dst: ep, Data: []byte("c")}); err == nil {
+		t.Fatal("third send should exhaust tokens")
+	}
+}
+
+func TestPortEpochIncrements(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.open(t, 0, 2)
+	e1 := r.mcps[0].Port(2).Epoch()
+	if err := r.mcps[0].ClosePort(2); err != nil {
+		t.Fatal(err)
+	}
+	r.open(t, 0, 2)
+	if e2 := r.mcps[0].Port(2).Epoch(); e2 != e1+1 {
+		t.Fatalf("epoch %d -> %d, want increment", e1, e2)
+	}
+}
+
+func TestBadNumPortsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New()
+	nic := lanai.NewNIC(s, lanai.LANai43())
+	cfg := DefaultConfig(0)
+	cfg.NumPorts = 9
+	New(nic, cfg)
+}
+
+// postPEBarrier provides a buffer and posts a PE token.
+func postPEBarrier(t *testing.T, r *rig, node, port int, peers []Endpoint) *BarrierToken {
+	t.Helper()
+	if err := r.mcps[node].PostBarrierBuffer(port); err != nil {
+		t.Fatal(err)
+	}
+	tok := &BarrierToken{Alg: PE, SrcPort: port, Peers: peers}
+	if err := r.mcps[node].PostBarrierToken(tok); err != nil {
+		t.Fatal(err)
+	}
+	return tok
+}
+
+func TestPEBarrierTwoNodes(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(1, 2) != 1 {
+		t.Fatalf("completions = %d/%d", r.barrierDone(0, 2), r.barrierDone(1, 2))
+	}
+	if r.mcps[0].Port(2).BarrierActive() {
+		t.Fatal("barrier token pointer not cleared")
+	}
+}
+
+func TestPEBarrierAsymmetricStart(t *testing.T) {
+	// Node 1 posts its token 200 µs late: node 0's message must be
+	// recorded as unexpected and consumed at token-processing time.
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	r.s.At(200*sim.Microsecond, func() {
+		postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(1, 2) != 1 {
+		t.Fatal("asymmetric barrier did not complete")
+	}
+	if r.mcps[1].Stats().BarrierUnexp == 0 {
+		t.Fatal("expected an unexpected-message record on the late node")
+	}
+}
+
+func TestEmptyPEBarrierCompletesLocally(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.open(t, 0, 2)
+	postPEBarrier(t, r, 0, 2, nil)
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 {
+		t.Fatal("empty barrier should complete immediately")
+	}
+}
+
+func TestBarrierWithoutBufferRejected(t *testing.T) {
+	r := newRig(t, 1, nil)
+	r.open(t, 0, 2)
+	tok := &BarrierToken{Alg: PE, SrcPort: 2}
+	if err := r.mcps[0].PostBarrierToken(tok); err == nil {
+		t.Fatal("barrier without buffer should be rejected")
+	}
+}
+
+func TestConcurrentBarrierOnSamePortRejected(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	if err := r.mcps[0].PostBarrierBuffer(2); err != nil {
+		t.Fatal(err)
+	}
+	err := r.mcps[0].PostBarrierToken(&BarrierToken{Alg: PE, SrcPort: 2, Peers: []Endpoint{{Node: 1, Port: 2}}})
+	if err == nil {
+		t.Fatal("second in-flight barrier on one port should be rejected")
+	}
+}
+
+func TestGBBarrierThreeNodes(t *testing.T) {
+	// 0 is root with children 1, 2.
+	r := newRig(t, 3, nil)
+	for i := 0; i < 3; i++ {
+		r.open(t, i, 2)
+		if err := r.mcps[i].PostBarrierBuffer(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := &BarrierToken{Alg: GB, SrcPort: 2, Root: true,
+		Children: []Endpoint{{Node: 1, Port: 2}, {Node: 2, Port: 2}}}
+	c1 := &BarrierToken{Alg: GB, SrcPort: 2, Parent: Endpoint{Node: 0, Port: 2}}
+	c2 := &BarrierToken{Alg: GB, SrcPort: 2, Parent: Endpoint{Node: 0, Port: 2}}
+	if err := r.mcps[0].PostBarrierToken(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mcps[1].PostBarrierToken(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mcps[2].PostBarrierToken(c2); err != nil {
+		t.Fatal(err)
+	}
+	r.s.Run()
+	for i := 0; i < 3; i++ {
+		if r.barrierDone(i, 2) != 1 {
+			t.Fatalf("node %d completions = %d", i, r.barrierDone(i, 2))
+		}
+	}
+}
+
+func TestMultipleConcurrentBarriersDifferentPorts(t *testing.T) {
+	// Ports 2 and 3 on the same two NICs run independent barriers
+	// concurrently (Section 3.4 / 4.2).
+	r := newRig(t, 2, nil)
+	for _, port := range []int{2, 3} {
+		r.open(t, 0, port)
+		r.open(t, 1, port)
+		postPEBarrier(t, r, 0, port, []Endpoint{{Node: 1, Port: port}})
+		postPEBarrier(t, r, 1, port, []Endpoint{{Node: 0, Port: port}})
+	}
+	r.s.Run()
+	for _, port := range []int{2, 3} {
+		if r.barrierDone(0, port) != 1 || r.barrierDone(1, port) != 1 {
+			t.Fatalf("port %d barrier incomplete", port)
+		}
+	}
+}
+
+func TestIntraNICBarrierLoopback(t *testing.T) {
+	// Two ports of the SAME NIC barrier with each other: packets take the
+	// NIC-internal loopback path.
+	r := newRig(t, 1, nil)
+	r.open(t, 0, 2)
+	r.open(t, 0, 3)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 0, Port: 3}})
+	postPEBarrier(t, r, 0, 3, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(0, 3) != 1 {
+		t.Fatal("intra-NIC barrier did not complete")
+	}
+	if r.fab.Delivered() != 0 {
+		t.Fatal("loopback traffic must not reach the fabric")
+	}
+}
+
+func TestIntraNICBarrierFlagOptimization(t *testing.T) {
+	// Section 3.4 optimization: same semantics, flag instead of packet.
+	r := newRig(t, 1, func(i int, cfg *Config) { cfg.LoopbackFlag = true })
+	r.open(t, 0, 2)
+	r.open(t, 0, 3)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 0, Port: 3}})
+	postPEBarrier(t, r, 0, 3, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(0, 3) != 1 {
+		t.Fatal("flag-optimized intra-NIC barrier did not complete")
+	}
+}
+
+func TestClosedPortRecordThenReject(t *testing.T) {
+	// Section 3.2's adopted protocol: node 0 barriers with a port on node
+	// 1 that is not open yet. The message is recorded; when the port
+	// opens, it is rejected back; node 0 resends; the barrier completes.
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	r.s.RunUntil(300 * sim.Microsecond)
+	if r.mcps[1].Stats().ClosedPortRecs == 0 {
+		t.Fatal("message to closed port not recorded")
+	}
+	if r.barrierDone(0, 2) != 0 {
+		t.Fatal("barrier completed against a closed port")
+	}
+	// Now the late process starts.
+	r.open(t, 1, 2)
+	postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(1, 2) != 1 {
+		t.Fatalf("completions = %d/%d after reject-resend",
+			r.barrierDone(0, 2), r.barrierDone(1, 2))
+	}
+	if r.mcps[1].Stats().BarrierRejects == 0 {
+		t.Fatal("no reject was sent")
+	}
+	if r.mcps[0].Stats().BarrierResends == 0 {
+		t.Fatal("origin did not resend")
+	}
+}
+
+func TestClosedPortRejectStaleEpochIgnored(t *testing.T) {
+	// The initiating port closes before the reject arrives: the resend
+	// must be suppressed ("but only if the endpoint that initiated the
+	// barrier has not closed since the message was sent").
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	r.s.RunUntil(300 * sim.Microsecond)
+	// Initiator gives up and closes, then reopens (new epoch).
+	if err := r.mcps[0].ClosePort(2); err != nil {
+		t.Fatal(err)
+	}
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.s.Run()
+	if r.mcps[0].Stats().BarrierResends != 0 {
+		t.Fatal("stale reject must not trigger a resend")
+	}
+	if r.barrierDone(0, 2) != 0 {
+		t.Fatal("no barrier should have completed")
+	}
+}
+
+func TestClearUnexpectedOnOpenVariant(t *testing.T) {
+	// The naive Section 3.2 alternative: the record is cleared when the
+	// port opens, so the early message is lost and the barrier cannot
+	// complete until the peer retries — with unreliable barriers it
+	// simply hangs, which is why the paper rejects this design.
+	r := newRig(t, 2, func(i int, cfg *Config) { cfg.ClearUnexpectedOnOpen = true })
+	r.open(t, 0, 2)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	r.s.RunUntil(300 * sim.Microsecond)
+	r.open(t, 1, 2)
+	postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(1, 2) != 0 {
+		t.Fatal("clear-on-open should lose the early message and hang the late barrier")
+	}
+}
+
+func TestReliableBarrierSurvivesLoss(t *testing.T) {
+	// Section 4.4's separate reliability mechanism: with 20% random loss
+	// the barrier still completes (retransmit timer + barrier acks).
+	r := newRig(t, 2, func(i int, cfg *Config) { cfg.ReliableBarrier = true })
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.fab.SetLossRate(0.2, 99)
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	if r.barrierDone(0, 2) != 1 || r.barrierDone(1, 2) != 1 {
+		t.Fatalf("reliable barrier under loss: completions = %d/%d",
+			r.barrierDone(0, 2), r.barrierDone(1, 2))
+	}
+}
+
+func TestUnreliableBarrierHangsOnLoss(t *testing.T) {
+	// The paper's benchmarked configuration has no barrier retransmission:
+	// "a lost barrier message could hang processes indefinitely"
+	// (Section 3.3). Drop one barrier packet and observe the hang.
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	dropped := false
+	r.fab.SetLossFunc(func(p *network.Packet) bool {
+		f, ok := p.Payload.(*Frame)
+		if ok && f.Kind == BarrierPEFrame && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	})
+	postPEBarrier(t, r, 0, 2, []Endpoint{{Node: 1, Port: 2}})
+	postPEBarrier(t, r, 1, 2, []Endpoint{{Node: 0, Port: 2}})
+	r.s.Run()
+	done := r.barrierDone(0, 2) + r.barrierDone(1, 2)
+	if done == 2 {
+		t.Fatal("unreliable barrier should hang when a packet is lost")
+	}
+}
+
+func TestReliableBarrierManyConsecutiveUnderLoss(t *testing.T) {
+	r := newRig(t, 2, func(i int, cfg *Config) { cfg.ReliableBarrier = true })
+	r.open(t, 0, 2)
+	r.open(t, 1, 2)
+	r.fab.SetLossRate(0.1, 7)
+	const rounds = 10
+	var run func(node, peer, left int)
+	run = func(node, peer, left int) {
+		if left == 0 {
+			return
+		}
+		if err := r.mcps[node].PostBarrierBuffer(2); err != nil {
+			t.Errorf("buffer: %v", err)
+			return
+		}
+		tok := &BarrierToken{Alg: PE, SrcPort: 2, Peers: []Endpoint{{Node: network.NodeID(peer), Port: 2}}}
+		if err := r.mcps[node].PostBarrierToken(tok); err != nil {
+			t.Errorf("token: %v", err)
+			return
+		}
+		// Chain the next barrier on completion by watching the event list.
+		k := key(node, 2)
+		want := rounds - left + 1
+		var poll func()
+		poll = func() {
+			count := 0
+			for _, ev := range r.events[k] {
+				if ev.Kind == BarrierDoneEvent {
+					count++
+				}
+			}
+			if count >= want {
+				run(node, peer, left-1)
+				return
+			}
+			r.s.After(10*sim.Microsecond, poll)
+		}
+		r.s.After(10*sim.Microsecond, poll)
+	}
+	run(0, 1, rounds)
+	run(1, 0, rounds)
+	r.s.Run()
+	if r.barrierDone(0, 2) != rounds || r.barrierDone(1, 2) != rounds {
+		t.Fatalf("completions = %d/%d, want %d each",
+			r.barrierDone(0, 2), r.barrierDone(1, 2), rounds)
+	}
+	if r.mcps[0].Stats().ProtocolErrors != 0 || r.mcps[1].Stats().ProtocolErrors != 0 {
+		t.Fatalf("protocol errors under reliable loss: %+v %+v",
+			r.mcps[0].Stats(), r.mcps[1].Stats())
+	}
+}
+
+func TestBarrierAlgString(t *testing.T) {
+	if PE.String() != "PE" || GB.String() != "GB" {
+		t.Fatal("alg strings wrong")
+	}
+	if RecvEvent.String() != "recv" || SentEvent.String() != "sent" ||
+		BarrierDoneEvent.String() != "barrier-done" || HostEventKind(9).String() == "" {
+		t.Fatal("event kind strings wrong")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.open(t, 0, 2)
+	if r.mcps[0].Node() != 0 {
+		t.Fatal("Node wrong")
+	}
+	if r.mcps[0].NIC() == nil {
+		t.Fatal("NIC nil")
+	}
+	p := r.mcps[0].Port(2)
+	if !p.Open() || p.Num() != 2 || p.RecvTokens() != 0 || p.BarrierBufs() != 0 {
+		t.Fatal("port accessors wrong")
+	}
+}

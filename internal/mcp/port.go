@@ -1,0 +1,174 @@
+package mcp
+
+import "gmsim/internal/network"
+
+// Port is the NIC-side endpoint data structure: send/receive token state,
+// the host event delivery hook, and — the paper's addition — the pointer to
+// the in-flight barrier send token (Section 4.2).
+type Port struct {
+	num  int
+	open bool
+	// epoch increments on every Open; barrier frames carry it so the
+	// closed-port protocol can tell stale messages from current ones.
+	epoch int
+
+	// recvTokens counts host-provided receive buffers (GM receive tokens).
+	recvTokens int
+	// barrierBufs counts host-provided barrier completion buffers
+	// (gm_provide_barrier_buffer).
+	barrierBufs int
+	// sendsInFlight counts data sends posted but not yet completed,
+	// bounded by Config.MaxSendTokens.
+	sendsInFlight int
+
+	// barrier is the "send token pointer in the port data structure":
+	// non-nil while a barrier initiated by this port is in flight.
+	barrier *BarrierToken
+	// barrierPending is set from the instant a barrier token is posted
+	// until its completion, so a second post is rejected even before the
+	// SDMA machine has processed the first.
+	barrierPending bool
+
+	// coll and collPending mirror barrier/barrierPending for NIC-based
+	// collective operations (Section 8 future work); collBufs counts
+	// host-provided collective completion buffers.
+	coll        *CollToken
+	collPending bool
+	collBufs    int
+
+	// deliver hands a completed host event to the GM library layer. It is
+	// invoked after the RDMA transfer that writes the event record (and
+	// any data) into host memory has finished.
+	deliver func(HostEvent)
+}
+
+// Num returns the port number.
+func (p *Port) Num() int { return p.num }
+
+// Open reports whether the port is currently open.
+func (p *Port) Open() bool { return p.open }
+
+// Epoch returns the current open-generation.
+func (p *Port) Epoch() int { return p.epoch }
+
+// RecvTokens returns the number of receive buffers currently available.
+func (p *Port) RecvTokens() int { return p.recvTokens }
+
+// BarrierBufs returns the number of barrier completion buffers available.
+func (p *Port) BarrierBufs() int { return p.barrierBufs }
+
+// BarrierActive reports whether a barrier initiated by this port is in
+// flight on the NIC.
+func (p *Port) BarrierActive() bool { return p.barrier != nil }
+
+// pendingClosed records one barrier message that arrived for a closed port
+// (Section 3.2: "record received barrier messages for a closed port, but
+// then reject those messages once the endpoint is opened").
+type pendingClosed struct {
+	src      Endpoint
+	kind     FrameKind
+	srcEpoch int
+	dstPort  int
+	seq      uint32
+}
+
+// unexpRec is one slot of the unexpected-barrier-message record. The paper
+// stores a single bit per (connection, source port); we additionally retain
+// the message kind and destination port so consumption can be validated
+// (a mismatch is counted as a protocol error rather than silently absorbed).
+type unexpRec struct {
+	present  bool
+	kind     FrameKind
+	dstPort  int
+	srcEpoch int
+	// data holds the payload of an unexpected collective message.
+	data []byte
+}
+
+// Connection is the per-remote-NIC structure: reliable channel state plus
+// the paper's unexpected-barrier-message record.
+type Connection struct {
+	peer network.NodeID
+
+	// Reliable data channel (GM): next sequence to assign, next expected,
+	// and the sent-but-unacked list in order.
+	sendSeq  uint32
+	recvSeq  uint32
+	sentList []*sentItem
+
+	// Reliable-barrier mode state (Section 4.4's separate mechanism):
+	// independent sequence space and in-flight list for barrier frames.
+	barrierSendSeq uint32
+	barrierSent    []*sentBarrier
+	// barrierSeen[srcPort] tracks which barrier seqs have been delivered
+	// from that source port, for duplicate suppression of retransmits.
+	barrierSeen [8]seqWindow
+
+	// unexp is the unexpected-barrier-message record: one slot per source
+	// port on the peer NIC ("one byte per connection", Section 3.1).
+	unexp [8]unexpRec
+
+	// collQ queues unexpected collective messages per source port.
+	// Unlike barriers, one-way collectives (broadcast, reduce) complete
+	// at the producer without a handshake, so a fast producer can run
+	// several operations ahead; the single-bit record is not enough.
+	collQ [8][]unexpRec
+
+	retransTimer int64 // sim.EventID as int64; 0 = none
+	// retryRounds counts consecutive timer firings without ack progress.
+	retryRounds int
+}
+
+type sentItem struct {
+	frame *Frame
+	tok   *SendToken
+}
+
+type sentBarrier struct {
+	frame *Frame
+}
+
+// seqWindow remembers which sequence numbers have been delivered, over a
+// sliding 64-entry window ending at the highest seq seen. A plain
+// "latest seq" comparison is not enough: when the expected frame is lost,
+// the peer's *next* frame (it may legitimately run one barrier ahead) can
+// be consumed in its place, and the eventual retransmission of the lost,
+// *older* frame must then still be accepted — it was never delivered.
+type seqWindow struct {
+	any  bool
+	max  uint32
+	bits uint64 // bit i set => seq (max - i) delivered
+}
+
+// mark records seq as delivered and reports whether it is new
+// (false => duplicate). Seqs older than the 64-wide window are treated as
+// duplicates; with at most a couple of frames outstanding per endpoint the
+// window cannot be outrun.
+func (w *seqWindow) mark(seq uint32) bool {
+	if !w.any {
+		w.any = true
+		w.max = seq
+		w.bits = 1
+		return true
+	}
+	if seqLess(w.max, seq) {
+		shift := seq - w.max
+		if shift >= 64 {
+			w.bits = 0
+		} else {
+			w.bits <<= shift
+		}
+		w.bits |= 1
+		w.max = seq
+		return true
+	}
+	back := w.max - seq
+	if back >= 64 {
+		return false // too old to tell: treat as duplicate
+	}
+	if w.bits&(1<<back) != 0 {
+		return false
+	}
+	w.bits |= 1 << back
+	return true
+}

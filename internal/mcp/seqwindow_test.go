@@ -1,0 +1,110 @@
+package mcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqWindowBasics(t *testing.T) {
+	var w seqWindow
+	if !w.mark(5) {
+		t.Fatal("first mark should be new")
+	}
+	if w.mark(5) {
+		t.Fatal("repeat should be duplicate")
+	}
+	if !w.mark(6) || !w.mark(8) {
+		t.Fatal("new seqs should be new")
+	}
+	if !w.mark(7) {
+		t.Fatal("backfilled seq 7 should be new (never delivered)")
+	}
+	if w.mark(7) || w.mark(6) || w.mark(8) {
+		t.Fatal("backfilled repeats should be duplicates")
+	}
+}
+
+func TestSeqWindowLostThenRetransmitted(t *testing.T) {
+	// The exact failure mode from the reliable-barrier bug: seq k lost,
+	// seq k+1 delivered and consumed, then seq k retransmitted — it must
+	// be accepted.
+	var w seqWindow
+	if !w.mark(10) { // first frame ever seen is k+1 (k was lost)
+		t.Fatal("k+1 should be new")
+	}
+	if !w.mark(9) { // retransmit of lost k
+		t.Fatal("retransmitted lost frame must be accepted as new")
+	}
+	if w.mark(9) || w.mark(10) {
+		t.Fatal("now both are duplicates")
+	}
+}
+
+func TestSeqWindowFarJump(t *testing.T) {
+	var w seqWindow
+	w.mark(0)
+	if !w.mark(1000) {
+		t.Fatal("far-forward seq should be new")
+	}
+	// Everything older than the 64-window is conservatively duplicate.
+	if w.mark(0) || w.mark(900) {
+		t.Fatal("out-of-window old seqs should be treated as duplicates")
+	}
+	if !w.mark(999) {
+		t.Fatal("in-window backfill should be new")
+	}
+}
+
+func TestSeqWindowWraparound(t *testing.T) {
+	var w seqWindow
+	w.mark(^uint32(0) - 1) // max-1
+	if !w.mark(1) {        // wrapped forward
+		t.Fatal("wrapped seq should be new")
+	}
+	if !w.mark(0) || !w.mark(^uint32(0)) {
+		t.Fatal("in-window backfills across wrap should be new")
+	}
+	if w.mark(^uint32(0) - 1) {
+		t.Fatal("original should be duplicate")
+	}
+}
+
+// Property: feeding a random permuted-with-duplicates stream whose values
+// stay within a 64-window, mark returns true exactly once per distinct seq.
+func TestPropertySeqWindowExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := rng.Uint32()
+		distinct := rng.Intn(50) + 1
+		var stream []uint32
+		for i := 0; i < distinct; i++ {
+			// 1-3 copies of each
+			for c := 0; c <= rng.Intn(3); c++ {
+				stream = append(stream, base+uint32(i))
+			}
+		}
+		// Shuffle within a bounded displacement so the window is honored:
+		// full shuffle is fine since distinct <= 50 < 64.
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+		news := make(map[uint32]int)
+		var w seqWindow
+		for _, s := range stream {
+			if w.mark(s) {
+				news[s]++
+			}
+		}
+		if len(news) != distinct {
+			return false
+		}
+		for _, n := range news {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

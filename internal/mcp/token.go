@@ -1,0 +1,145 @@
+package mcp
+
+import (
+	"fmt"
+
+	"gmsim/internal/network"
+)
+
+// Endpoint names a communication endpoint: a (node, port) pair.
+type Endpoint struct {
+	Node network.NodeID
+	Port int
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%d:%d", e.Node, e.Port) }
+
+// SendToken is a host-filled descriptor for one reliable data send
+// (GM's send token).
+type SendToken struct {
+	SrcPort int
+	Dst     Endpoint
+	Data    []byte
+	// Tag is returned to the host in the send-completion event so the GM
+	// library can run the right callback.
+	Tag any
+}
+
+// BarrierAlg selects the barrier algorithm a barrier token executes.
+type BarrierAlg int
+
+const (
+	// PE is the pairwise-exchange algorithm used in MPICH.
+	PE BarrierAlg = iota
+	// GB is the gather-and-broadcast algorithm over a fixed-dimension tree.
+	GB
+)
+
+func (a BarrierAlg) String() string {
+	if a == PE {
+		return "PE"
+	}
+	return "GB"
+}
+
+// BarrierToken is the paper's barrier send token: it carries the whole
+// NIC-resident state of one barrier operation for one port. The port data
+// structure holds a pointer to it while the barrier is in flight
+// (Section 4.2).
+type BarrierToken struct {
+	Alg     BarrierAlg
+	SrcPort int
+	// Epoch is the owning port's open-generation at initiation.
+	Epoch int
+	// Tag is returned in the completion event.
+	Tag any
+
+	// PE state: the peer list computed by the host and the index of the
+	// next peer to exchange with ("node index", Section 4.2).
+	Peers []Endpoint
+	Index int
+
+	// GB state: the tree neighborhood computed by the host.
+	// Root is true when this node is the tree root (no parent).
+	Root     bool
+	Parent   Endpoint
+	Children []Endpoint
+	// gatherFrom[i] is true once child i's gather message is consumed.
+	gatherFrom []bool
+	// sentGather is true once this node's own gather went to its parent.
+	sentGather bool
+
+	// completed guards against double completion.
+	completed bool
+}
+
+// remainingGathers counts children whose gather has not been consumed.
+func (t *BarrierToken) remainingGathers() int {
+	n := 0
+	for _, got := range t.gatherFrom {
+		if !got {
+			n++
+		}
+	}
+	return n
+}
+
+// childIndex returns the index of ep in Children, or -1.
+func (t *BarrierToken) childIndex(ep Endpoint) int {
+	for i, c := range t.Children {
+		if c == ep {
+			return i
+		}
+	}
+	return -1
+}
+
+// HostEventKind classifies events the NIC delivers to the host through a
+// port's receive queue.
+type HostEventKind int
+
+const (
+	// RecvEvent: a data message arrived; Data holds the payload.
+	RecvEvent HostEventKind = iota
+	// SentEvent: a send completed (its packet was acknowledged); the
+	// send token is back with the host.
+	SentEvent
+	// BarrierDoneEvent: the paper's GM_BARRIER_COMPLETED_EVENT.
+	BarrierDoneEvent
+	// CollDoneEvent: a NIC-based collective completed; Data carries the
+	// result (broadcast payload or reduction result).
+	CollDoneEvent
+)
+
+func (k HostEventKind) String() string {
+	switch k {
+	case RecvEvent:
+		return "recv"
+	case SentEvent:
+		return "sent"
+	case BarrierDoneEvent:
+		return "barrier-done"
+	case CollDoneEvent:
+		return "coll-done"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// HostEvent is one entry in a port's host-visible event queue.
+type HostEvent struct {
+	Kind HostEventKind
+	// Src identifies the sender (RecvEvent).
+	Src Endpoint
+	// Data is the received payload (RecvEvent).
+	Data []byte
+	// Tag echoes the token's Tag (SentEvent, BarrierDoneEvent).
+	Tag any
+	// Failed marks a SentEvent whose message could not be delivered: the
+	// connection was declared dead after MaxRetries retransmission rounds.
+	Failed bool
+}
+
+// eventRecordBytes is the size of the DMA that posts a host event record
+// (GM writes a small descriptor into host memory; data adds to it).
+const eventRecordBytes = 16

@@ -1,0 +1,220 @@
+// Package mem models host memory as GM sees it: DMA-able buffers live at
+// simulated addresses, and only *pinned* (registered) ranges may be the
+// source or target of NIC DMA — "Messages may only be sent from and
+// received into buffers which are pinned in memory. Memory is pinned using
+// special functions supplied by GM" (paper Section 4.1).
+//
+// The model is per-node: an Arena allocates buffers at increasing
+// addresses; a Registry tracks pinned ranges and answers the containment
+// queries the GM library makes before handing a buffer to the NIC.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated host physical address.
+type Addr uint64
+
+// PageSize is the pinning granularity (4 KiB, as on the paper's hosts).
+const PageSize = 4096
+
+// Buffer is an allocated host buffer: simulated address plus backing
+// storage for payload bytes.
+type Buffer struct {
+	addr Addr
+	data []byte
+}
+
+// Addr returns the buffer's base address.
+func (b *Buffer) Addr() Addr { return b.addr }
+
+// Len returns the buffer's length.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Data exposes the backing bytes.
+func (b *Buffer) Data() []byte { return b.data }
+
+// Slice returns a view of the buffer's bytes [off, off+n) with its
+// simulated address, for sub-buffer sends.
+func (b *Buffer) Slice(off, n int) (*Buffer, error) {
+	if off < 0 || n < 0 || off+n > len(b.data) {
+		return nil, fmt.Errorf("mem: slice [%d,%d) outside buffer of %d bytes", off, off+n, len(b.data))
+	}
+	return &Buffer{addr: b.addr + Addr(off), data: b.data[off : off+n]}, nil
+}
+
+// Arena allocates buffers at increasing simulated addresses (one per node;
+// address spaces of different nodes are unrelated).
+type Arena struct {
+	next Addr
+}
+
+// NewArena returns an arena starting above the zero page.
+func NewArena() *Arena { return &Arena{next: PageSize} }
+
+// Alloc returns a fresh n-byte buffer. Zero-length buffers are allowed
+// (barrier notifications carry no payload).
+func (a *Arena) Alloc(n int) *Buffer {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	b := &Buffer{addr: a.next, data: make([]byte, n)}
+	// Keep allocations page-separated so pinning one buffer never
+	// accidentally covers its neighbor.
+	pages := Addr((n + PageSize - 1) / PageSize)
+	if pages == 0 {
+		pages = 1
+	}
+	a.next += pages * PageSize
+	return b
+}
+
+// Registry tracks pinned address ranges for one process.
+type Registry struct {
+	// ranges is kept sorted by base, non-overlapping (Pin merges).
+	ranges []pinRange
+	pinned int64 // bytes currently pinned
+	limit  int64 // 0 = unlimited
+}
+
+type pinRange struct {
+	base Addr
+	len  int64
+}
+
+// NewRegistry returns an empty registry with an optional pinned-bytes
+// limit (the OS bounds how much memory a user may lock; 0 = unlimited).
+func NewRegistry(limitBytes int64) *Registry { return &Registry{limit: limitBytes} }
+
+// PinnedBytes returns the total currently pinned.
+func (r *Registry) PinnedBytes() int64 { return r.pinned }
+
+// pageAlign expands [base, base+n) to page boundaries.
+func pageAlign(base Addr, n int) (Addr, int64) {
+	start := base &^ (PageSize - 1)
+	end := (uint64(base) + uint64(n) + PageSize - 1) &^ (PageSize - 1)
+	if n == 0 {
+		end = uint64(start) + PageSize
+	}
+	return start, int64(end - uint64(start))
+}
+
+// Pin registers the buffer's pages. Overlapping or adjacent ranges merge.
+// Exceeding the lock limit fails, as mlock would.
+func (r *Registry) Pin(b *Buffer) error {
+	base, length := pageAlign(b.addr, len(b.data))
+	// Compute newly-pinned bytes (exclude overlap with existing ranges).
+	newBytes := length
+	for _, pr := range r.ranges {
+		lo, hi := maxAddr(base, pr.base), minAddr(base+Addr(length), pr.base+Addr(pr.len))
+		if lo < hi {
+			newBytes -= int64(hi - lo)
+		}
+	}
+	if newBytes < 0 {
+		newBytes = 0
+	}
+	if r.limit > 0 && r.pinned+newBytes > r.limit {
+		return fmt.Errorf("mem: pin of %d bytes exceeds lock limit (%d of %d pinned)",
+			newBytes, r.pinned, r.limit)
+	}
+	r.pinned += newBytes
+	r.ranges = append(r.ranges, pinRange{base: base, len: length})
+	r.normalize()
+	return nil
+}
+
+// Unpin removes the buffer's pages from the registry. Unpinning pages that
+// are not pinned is an error (it indicates double-unpin bugs).
+func (r *Registry) Unpin(b *Buffer) error {
+	base, length := pageAlign(b.addr, len(b.data))
+	if !r.covered(base, length) {
+		return fmt.Errorf("mem: unpin of unpinned range [%#x,+%d)", base, length)
+	}
+	var out []pinRange
+	for _, pr := range r.ranges {
+		prEnd := pr.base + Addr(pr.len)
+		end := base + Addr(length)
+		switch {
+		case prEnd <= base || pr.base >= end:
+			out = append(out, pr) // disjoint
+		default:
+			if pr.base < base {
+				out = append(out, pinRange{base: pr.base, len: int64(base - pr.base)})
+			}
+			if prEnd > end {
+				out = append(out, pinRange{base: end, len: int64(prEnd - end)})
+			}
+			// Overlap removed.
+			lo, hi := maxAddr(base, pr.base), minAddr(end, prEnd)
+			r.pinned -= int64(hi - lo)
+		}
+	}
+	r.ranges = out
+	r.normalize()
+	return nil
+}
+
+// Pinned reports whether the buffer's bytes all lie in pinned pages —
+// the check GM performs before programming a DMA.
+func (r *Registry) Pinned(b *Buffer) bool {
+	base, length := pageAlign(b.addr, len(b.data))
+	return r.covered(base, length)
+}
+
+func (r *Registry) covered(base Addr, length int64) bool {
+	end := base + Addr(length)
+	cur := base
+	for _, pr := range r.ranges {
+		prEnd := pr.base + Addr(pr.len)
+		if prEnd <= cur {
+			continue
+		}
+		if pr.base > cur {
+			return false // gap
+		}
+		cur = prEnd
+		if cur >= end {
+			return true
+		}
+	}
+	return cur >= end
+}
+
+// normalize sorts and merges overlapping/adjacent ranges.
+func (r *Registry) normalize() {
+	if len(r.ranges) == 0 {
+		return
+	}
+	sort.Slice(r.ranges, func(i, j int) bool { return r.ranges[i].base < r.ranges[j].base })
+	out := r.ranges[:1]
+	for _, pr := range r.ranges[1:] {
+		last := &out[len(out)-1]
+		lastEnd := last.base + Addr(last.len)
+		if pr.base <= lastEnd {
+			prEnd := pr.base + Addr(pr.len)
+			if prEnd > lastEnd {
+				last.len = int64(prEnd - last.base)
+			}
+			continue
+		}
+		out = append(out, pr)
+	}
+	r.ranges = out
+}
+
+func maxAddr(a, b Addr) Addr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minAddr(a, b Addr) Addr {
+	if a < b {
+		return a
+	}
+	return b
+}

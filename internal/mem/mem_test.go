@@ -1,0 +1,215 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocatesDisjointPages(t *testing.T) {
+	a := NewArena()
+	b1 := a.Alloc(100)
+	b2 := a.Alloc(PageSize + 1)
+	b3 := a.Alloc(0)
+	if b1.Addr() == 0 {
+		t.Fatal("zero base address")
+	}
+	if b2.Addr() < b1.Addr()+PageSize {
+		t.Fatal("allocations share a page")
+	}
+	if b3.Addr() < b2.Addr()+2*PageSize {
+		t.Fatal("multi-page allocation not page-separated")
+	}
+	if b1.Len() != 100 || b2.Len() != PageSize+1 || b3.Len() != 0 {
+		t.Fatal("lengths wrong")
+	}
+}
+
+func TestAllocNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArena().Alloc(-1)
+}
+
+func TestBufferSlice(t *testing.T) {
+	a := NewArena()
+	b := a.Alloc(100)
+	for i := range b.Data() {
+		b.Data()[i] = byte(i)
+	}
+	s, err := b.Slice(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != b.Addr()+10 || s.Len() != 20 || s.Data()[0] != 10 {
+		t.Fatal("slice view wrong")
+	}
+	if _, err := b.Slice(90, 20); err == nil {
+		t.Fatal("out-of-range slice should error")
+	}
+	if _, err := b.Slice(-1, 5); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+func TestPinUnpinRoundTrip(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(100)
+	if r.Pinned(b) {
+		t.Fatal("unpinned buffer reported pinned")
+	}
+	if err := r.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pinned(b) {
+		t.Fatal("pinned buffer not reported pinned")
+	}
+	if r.PinnedBytes() != PageSize {
+		t.Fatalf("PinnedBytes = %d, want one page", r.PinnedBytes())
+	}
+	if err := r.Unpin(b); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pinned(b) || r.PinnedBytes() != 0 {
+		t.Fatal("unpin did not clear")
+	}
+}
+
+func TestDoublePinIsIdempotentForAccounting(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(10)
+	r.Pin(b)
+	r.Pin(b)
+	if r.PinnedBytes() != PageSize {
+		t.Fatalf("double pin counted twice: %d", r.PinnedBytes())
+	}
+	if err := r.Unpin(b); err != nil {
+		t.Fatal(err)
+	}
+	if r.PinnedBytes() != 0 {
+		t.Fatalf("PinnedBytes = %d after unpin", r.PinnedBytes())
+	}
+}
+
+func TestUnpinUnpinnedErrors(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(10)
+	if err := r.Unpin(b); err == nil {
+		t.Fatal("unpin of unpinned range should error")
+	}
+}
+
+func TestPinLimitEnforced(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(2 * PageSize)
+	b1 := a.Alloc(PageSize)
+	b2 := a.Alloc(PageSize)
+	b3 := a.Alloc(PageSize)
+	if err := r.Pin(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Pin(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Pin(b3); err == nil {
+		t.Fatal("pin beyond limit should fail")
+	}
+	r.Unpin(b1)
+	if err := r.Pin(b3); err != nil {
+		t.Fatalf("pin after freeing headroom: %v", err)
+	}
+}
+
+func TestSubBufferPinnedByWholeBufferPin(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(3 * PageSize)
+	r.Pin(b)
+	s, _ := b.Slice(PageSize+10, 100)
+	if !r.Pinned(s) {
+		t.Fatal("sub-buffer of pinned buffer should be pinned")
+	}
+}
+
+func TestPartialUnpinLeavesRest(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(4 * PageSize)
+	r.Pin(b)
+	mid, _ := b.Slice(PageSize, PageSize)
+	if err := r.Unpin(mid); err != nil {
+		t.Fatal(err)
+	}
+	head, _ := b.Slice(0, PageSize)
+	tail, _ := b.Slice(2*PageSize, 2*PageSize)
+	if !r.Pinned(head) || !r.Pinned(tail) {
+		t.Fatal("partial unpin removed too much")
+	}
+	if r.Pinned(b) {
+		t.Fatal("whole buffer should no longer be fully pinned")
+	}
+	if r.PinnedBytes() != 3*PageSize {
+		t.Fatalf("PinnedBytes = %d, want 3 pages", r.PinnedBytes())
+	}
+}
+
+func TestZeroLengthBufferPinsOnePage(t *testing.T) {
+	a := NewArena()
+	r := NewRegistry(0)
+	b := a.Alloc(0)
+	if err := r.Pin(b); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pinned(b) || r.PinnedBytes() != PageSize {
+		t.Fatal("zero-length pin wrong")
+	}
+}
+
+// Property: after any sequence of pins and unpins of whole buffers,
+// Pinned(b) is true exactly for the buffers currently in the pinned set,
+// and PinnedBytes equals one page per distinct pinned buffer (buffers are
+// page-separated and page-sized here).
+func TestPropertyPinSetConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArena()
+		r := NewRegistry(0)
+		bufs := make([]*Buffer, 12)
+		for i := range bufs {
+			bufs[i] = a.Alloc(PageSize)
+		}
+		pinned := make(map[int]bool)
+		for step := 0; step < 100; step++ {
+			i := rng.Intn(len(bufs))
+			if pinned[i] && rng.Intn(2) == 0 {
+				if err := r.Unpin(bufs[i]); err != nil {
+					return false
+				}
+				delete(pinned, i)
+			} else {
+				if err := r.Pin(bufs[i]); err != nil {
+					return false
+				}
+				pinned[i] = true
+			}
+			for j, b := range bufs {
+				if r.Pinned(b) != pinned[j] {
+					return false
+				}
+			}
+			if r.PinnedBytes() != int64(len(pinned))*PageSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

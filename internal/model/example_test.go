@@ -1,0 +1,19 @@
+package model_test
+
+import (
+	"fmt"
+
+	"gmsim/internal/model"
+)
+
+// Evaluate the paper's Equations 1-3 with the LANai 4.3 segment estimates.
+func ExampleBreakdown() {
+	b := model.PaperEstimate43()
+	fmt.Printf("host-based 16-node barrier (Eq 1): %.1f us\n", b.HostBarrier(16))
+	fmt.Printf("NIC-based  16-node barrier (Eq 2): %.1f us\n", b.NICBarrier(16))
+	fmt.Printf("factor of improvement      (Eq 3): %.2f\n", b.Factor(16))
+	// Output:
+	// host-based 16-node barrier (Eq 1): 182.0 us
+	// NIC-based  16-node barrier (Eq 2): 97.8 us
+	// factor of improvement      (Eq 3): 1.86
+}

@@ -1,0 +1,191 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmsim/internal/route"
+	"gmsim/internal/sim"
+)
+
+// Fabric is a complete Myrinet network: switches, cables, and NIC
+// interfaces, plus route computation over the resulting topology.
+type Fabric struct {
+	sim      *sim.Simulator
+	switches []*Switch
+	ifaces   map[NodeID]*Iface
+	graph    *route.Graph
+	observer Observer
+
+	lossFn func(p *Packet) bool
+	rng    *rand.Rand
+
+	delivered int64
+	dropped   int64
+}
+
+// fabric is an alias kept so internal files read naturally.
+type fabric = Fabric
+
+// New creates an empty fabric on the given simulator.
+func New(s *sim.Simulator) *Fabric {
+	return &Fabric{
+		sim:    s,
+		ifaces: make(map[NodeID]*Iface),
+		graph:  route.NewGraph(),
+	}
+}
+
+// Sim returns the simulator the fabric runs on.
+func (f *Fabric) Sim() *sim.Simulator { return f.sim }
+
+// Delivered returns the count of packets fully delivered to NICs.
+func (f *Fabric) Delivered() int64 { return f.delivered }
+
+// Dropped returns the count of packets discarded by the fabric.
+func (f *Fabric) Dropped() int64 { return f.dropped }
+
+// SetObserver installs a fabric event observer (tracing); nil clears it.
+func (f *Fabric) SetObserver(o Observer) { f.observer = o }
+
+// SetLossFunc installs a deterministic per-hop loss predicate: any packet
+// head arriving at any sink for which fn returns true is discarded.
+// Used by reliability tests to drop specific packets. nil clears it.
+func (f *Fabric) SetLossFunc(fn func(p *Packet) bool) { f.lossFn = fn }
+
+// SetLossRate installs a seeded random per-hop loss probability.
+// rate <= 0 clears loss injection.
+func (f *Fabric) SetLossRate(rate float64, seed int64) {
+	if rate <= 0 {
+		f.lossFn = nil
+		return
+	}
+	f.rng = rand.New(rand.NewSource(seed))
+	f.lossFn = func(*Packet) bool { return f.rng.Float64() < rate }
+}
+
+func (f *Fabric) dropPacket(p *Packet) bool {
+	if f.lossFn != nil && f.lossFn(p) {
+		f.drop(p, "loss")
+		return true
+	}
+	return false
+}
+
+func (f *Fabric) drop(p *Packet, reason string) {
+	f.dropped++
+	if f.observer != nil {
+		f.observer.PacketDropped(p, reason)
+	}
+}
+
+func switchVertex(id int) route.Vertex { return route.Vertex(2 * id) }
+func nicVertex(n NodeID) route.Vertex  { return route.Vertex(2*int(n) + 1) }
+
+// AddSwitch creates a switch and returns it.
+func (f *Fabric) AddSwitch(params SwitchParams) *Switch {
+	sw := newSwitch(f, len(f.switches), params)
+	f.switches = append(f.switches, sw)
+	f.graph.AddVertex(switchVertex(sw.id), route.SwitchVertex)
+	return sw
+}
+
+// AttachNIC cables a NIC interface to a switch port with a duplex link.
+// recv is invoked when a packet fully arrives at the NIC. Attaching two
+// NICs with the same NodeID, or reusing a cabled switch port, panics.
+func (f *Fabric) AttachNIC(node NodeID, sw *Switch, port int, lp LinkParams, recv func(*Packet)) *Iface {
+	if _, dup := f.ifaces[node]; dup {
+		panic(fmt.Sprintf("network: NIC %d attached twice", node))
+	}
+	if port < 0 || port >= sw.params.Ports {
+		panic(fmt.Sprintf("network: switch %d has no port %d", sw.id, port))
+	}
+	if sw.out[port] != nil {
+		panic(fmt.Sprintf("network: switch %d port %d already cabled", sw.id, port))
+	}
+	iface := &Iface{fab: f, node: node, recv: recv}
+	// NIC -> switch direction.
+	iface.tx = &channel{fab: f, params: lp, sink: sw}
+	// switch -> NIC direction.
+	sw.out[port] = &channel{fab: f, params: lp, sink: iface}
+	f.ifaces[node] = iface
+
+	nv, sv := nicVertex(node), switchVertex(sw.id)
+	f.graph.AddVertex(nv, route.NICVertex)
+	f.graph.AddEdge(nv, 0, sv)
+	f.graph.AddEdge(sv, port, nv)
+	return iface
+}
+
+// ConnectSwitches cables two switch ports together with a duplex link.
+func (f *Fabric) ConnectSwitches(a *Switch, aPort int, b *Switch, bPort int, lp LinkParams) {
+	if a.out[aPort] != nil || b.out[bPort] != nil {
+		panic("network: switch port already cabled")
+	}
+	a.out[aPort] = &channel{fab: f, params: lp, sink: b}
+	b.out[bPort] = &channel{fab: f, params: lp, sink: a}
+	f.graph.AddEdge(switchVertex(a.id), aPort, switchVertex(b.id))
+	f.graph.AddEdge(switchVertex(b.id), bPort, switchVertex(a.id))
+}
+
+// Route computes the source route between two attached NICs.
+func (f *Fabric) Route(src, dst NodeID) ([]byte, error) {
+	if _, ok := f.ifaces[src]; !ok {
+		return nil, fmt.Errorf("network: NIC %d not attached", src)
+	}
+	if _, ok := f.ifaces[dst]; !ok {
+		return nil, fmt.Errorf("network: NIC %d not attached", dst)
+	}
+	return f.graph.Route(nicVertex(src), nicVertex(dst))
+}
+
+// Iface returns the interface of an attached NIC, or nil.
+func (f *Fabric) Iface(node NodeID) *Iface { return f.ifaces[node] }
+
+// NumNICs returns the number of attached NICs.
+func (f *Fabric) NumNICs() int { return len(f.ifaces) }
+
+// Iface is a NIC's attachment point to the fabric: one duplex cable with
+// separate transmit and receive channels, matching the paper's assumption
+// that "NICs have separate receive and transmit channels to the network".
+type Iface struct {
+	fab  *Fabric
+	node NodeID
+	tx   *channel
+	recv func(*Packet)
+}
+
+// Node returns the NIC's fabric identity.
+func (i *Iface) Node() NodeID { return i.node }
+
+// Transmit injects a packet onto the NIC's outgoing channel at the current
+// simulated time. If the channel is busy the packet queues behind earlier
+// traffic. The NIC firmware (mcp.SEND) is responsible for pacing.
+func (i *Iface) Transmit(p *Packet) {
+	if i.fab.observer != nil {
+		i.fab.observer.PacketInjected(p)
+	}
+	i.tx.transmit(p)
+}
+
+// TxBusy reports whether the outgoing channel is still serializing earlier
+// packets.
+func (i *Iface) TxBusy() bool { return i.tx.busy() }
+
+// headArrived implements headSink: the packet head reached the NIC; the
+// packet is fully received one serialization time later.
+func (i *Iface) headArrived(p *Packet, wire sim.Time) {
+	i.fab.sim.After(wire, func() {
+		if len(p.Route) != 0 {
+			i.fab.drop(p, "route-left-over-at-nic")
+			return
+		}
+		i.fab.delivered++
+		if i.fab.observer != nil {
+			i.fab.observer.PacketDelivered(p)
+		}
+		if i.recv != nil {
+			i.recv(p)
+		}
+	})
+}

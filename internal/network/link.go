@@ -1,0 +1,76 @@
+package network
+
+import (
+	"gmsim/internal/sim"
+)
+
+// LinkParams describes one duplex cable.
+type LinkParams struct {
+	// BandwidthMBps is the per-direction bandwidth in megabytes per second.
+	// Myrinet LAN links of the paper's era sustain roughly 160 MB/s.
+	BandwidthMBps float64
+	// Latency is the propagation delay of the cable (plus SERDES), per
+	// direction.
+	Latency sim.Time
+}
+
+// DefaultLinkParams returns parameters for a paper-era Myrinet LAN cable.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{BandwidthMBps: 160, Latency: 300 * sim.Nanosecond}
+}
+
+// wireTime returns how long size bytes occupy one directed channel.
+func (lp LinkParams) wireTime(size int) sim.Time {
+	if size <= 0 {
+		return 0
+	}
+	ns := float64(size) / lp.BandwidthMBps * 1000 // bytes / (MB/s) = µs; ×1000 → ns
+	return sim.Time(ns + 0.5)
+}
+
+// headSink is anything a directed channel can deliver a packet head to:
+// a switch input port (which forwards, cut-through) or a NIC interface
+// (which waits for the tail and then receives).
+type headSink interface {
+	// headArrived is called at the instant the packet head reaches the
+	// sink. wire is the serialization time of the full packet on the
+	// incoming channel, so a final sink can compute tail arrival.
+	headArrived(p *Packet, wire sim.Time)
+}
+
+// channel is one direction of a link: a serializing resource with latency.
+type channel struct {
+	fab       *fabric
+	params    LinkParams
+	busyUntil sim.Time
+	sink      headSink
+	queued    int // packets accepted but not yet fully transmitted
+}
+
+// transmit accepts a packet for transmission at the current simulated time.
+// If the channel is busy the packet waits (FIFO by virtue of busyUntil
+// monotonicity). Returns the time the head will arrive at the sink.
+func (c *channel) transmit(p *Packet) sim.Time {
+	s := c.fab.sim
+	start := s.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	wire := c.params.wireTime(p.Size)
+	c.busyUntil = start + wire
+	headArrive := start + c.params.Latency
+	c.queued++
+	s.At(headArrive, func() {
+		c.queued--
+		if c.fab.dropPacket(p) {
+			return
+		}
+		c.sink.headArrived(p, wire)
+	})
+	return headArrive
+}
+
+// busy reports whether the channel is currently serializing a packet.
+func (c *channel) busy() bool {
+	return c.fab.sim.Now() < c.busyUntil || c.queued > 0
+}

@@ -1,0 +1,60 @@
+// Package network models a Myrinet-style wormhole-routed fabric: duplex
+// links with bandwidth and propagation latency, crossbar switches with
+// cut-through forwarding and output-port contention, and source-routed
+// packets.
+//
+// Timing model. A packet of S bytes injected on a link occupies that link's
+// directed channel for S/bandwidth (serialization). Its head propagates to
+// the far end after the channel's latency. A switch begins forwarding the
+// head after a fixed routing delay without waiting for the tail
+// (cut-through), so across a path of k hops the head arrives after
+// k*(latency) + (k-1)*routeDelay and the tail one serialization time later.
+// When an output port is busy, the head waits (a packet-granularity
+// approximation of wormhole backpressure; see DESIGN.md).
+package network
+
+import "fmt"
+
+// NodeID identifies a NIC on the fabric. IDs are dense, starting at 0,
+// and double as GM node IDs.
+type NodeID int
+
+// Packet is one Myrinet packet. The fabric reads only Route and Size;
+// Payload is opaque and is interpreted by the NIC firmware (package mcp).
+type Packet struct {
+	// Route is the remaining source route: one output-port byte per switch
+	// hop. Switches consume bytes from the front.
+	Route []byte
+	// Src and Dst identify the endpoints, for tracing and delivery checks.
+	// The fabric forwards using Route only, as real Myrinet does.
+	Src, Dst NodeID
+	// Size is the total on-the-wire size in bytes (header + payload).
+	Size int
+	// Payload carries the firmware-level message.
+	Payload any
+}
+
+// Clone returns a copy of the packet with its own Route slice, so a
+// retransmission does not observe route bytes consumed by a previous
+// traversal.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Route = append([]byte(nil), p.Route...)
+	return &q
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%d->%d size=%d route=%v}", p.Src, p.Dst, p.Size, p.Route)
+}
+
+// Observer receives fabric-level events, for tracing and tests.
+// All methods are called synchronously from the simulation event loop.
+type Observer interface {
+	// PacketInjected fires when a NIC begins transmitting a packet.
+	PacketInjected(p *Packet)
+	// PacketDelivered fires when a packet fully arrives at its final NIC.
+	PacketDelivered(p *Packet)
+	// PacketDropped fires when the fabric discards a packet and names why
+	// ("loss", "bad-route", ...).
+	PacketDropped(p *Packet, reason string)
+}

@@ -1,0 +1,70 @@
+package network
+
+import (
+	"fmt"
+
+	"gmsim/internal/sim"
+)
+
+// SwitchParams describes a crossbar switch.
+type SwitchParams struct {
+	// Ports is the number of ports (the paper uses 16- and 8-port
+	// switches).
+	Ports int
+	// RouteDelay is the cut-through forwarding delay: from head arrival at
+	// an input to head emission at the (free) output. Myrinet-era switches
+	// forwarded in a few hundred nanoseconds.
+	RouteDelay sim.Time
+}
+
+// DefaultSwitchParams returns parameters for a paper-era Myrinet switch
+// with the given port count.
+func DefaultSwitchParams(ports int) SwitchParams {
+	return SwitchParams{Ports: ports, RouteDelay: 300 * sim.Nanosecond}
+}
+
+// Switch is a source-routed crossbar. Each port may be cabled to a NIC or
+// to another switch. Forwarding is cut-through: the head moves on after
+// RouteDelay; output contention delays the head until the output channel
+// frees (the packet-granularity wormhole approximation).
+type Switch struct {
+	fab    *fabric
+	id     int
+	params SwitchParams
+	out    []*channel // per-port outgoing channel, nil if uncabled
+}
+
+func newSwitch(f *fabric, id int, params SwitchParams) *Switch {
+	if params.Ports <= 0 {
+		panic("network: switch needs at least one port")
+	}
+	return &Switch{fab: f, id: id, params: params, out: make([]*channel, params.Ports)}
+}
+
+// Ports returns the switch's port count.
+func (sw *Switch) Ports() int { return sw.params.Ports }
+
+// ID returns the fabric-assigned switch index.
+func (sw *Switch) ID() int { return sw.id }
+
+// headArrived implements headSink: consume one route byte and forward.
+func (sw *Switch) headArrived(p *Packet, wire sim.Time) {
+	if len(p.Route) == 0 {
+		sw.fab.drop(p, "route-exhausted-at-switch")
+		return
+	}
+	port := int(p.Route[0])
+	p.Route = p.Route[1:]
+	if port < 0 || port >= sw.params.Ports || sw.out[port] == nil {
+		sw.fab.drop(p, fmt.Sprintf("bad-route-port-%d", port))
+		return
+	}
+	sw.fab.sim.After(sw.params.RouteDelay, func() {
+		sw.out[port].transmit(p)
+	})
+}
+
+// portCabled reports whether the given port has a cable.
+func (sw *Switch) portCabled(port int) bool {
+	return port >= 0 && port < sw.params.Ports && sw.out[port] != nil
+}

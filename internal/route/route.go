@@ -1,0 +1,155 @@
+// Package route computes Myrinet-style source routes.
+//
+// Myrinet is source routed: the sending NIC prepends to each packet a list
+// of output-port bytes, one per switch the packet will traverse; each switch
+// strips the first byte and forwards the packet out of that port. This
+// package models the cluster as a graph of switches and NIC interfaces and
+// computes shortest port sequences with deterministic tie-breaking (lowest
+// output port first), so a given topology always yields the same routes.
+package route
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex identifies a device in the topology: either a switch or a NIC.
+// Callers assign IDs; the graph does not interpret them beyond equality.
+type Vertex int
+
+// Kind distinguishes switches (which consume route bytes) from NICs
+// (which terminate routes).
+type Kind int
+
+const (
+	// SwitchVertex is a crossbar switch; forwarding through it consumes
+	// one route byte.
+	SwitchVertex Kind = iota
+	// NICVertex is a network interface; it is always an endpoint.
+	NICVertex
+)
+
+type edge struct {
+	to      Vertex
+	outPort int // port index on the *from* vertex; meaningful for switches
+}
+
+// Graph is a topology of switches and NICs. The zero value is unusable;
+// call NewGraph.
+type Graph struct {
+	kinds map[Vertex]Kind
+	adj   map[Vertex][]edge
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{kinds: make(map[Vertex]Kind), adj: make(map[Vertex][]edge)}
+}
+
+// AddVertex declares a device. Re-declaring with a different kind panics:
+// it indicates a topology construction bug.
+func (g *Graph) AddVertex(v Vertex, k Kind) {
+	if prev, ok := g.kinds[v]; ok && prev != k {
+		panic(fmt.Sprintf("route: vertex %d redeclared with different kind", v))
+	}
+	g.kinds[v] = k
+}
+
+// AddEdge declares a directed cable from one device port to another device.
+// fromPort is the output-port number on `from` (used as the route byte when
+// `from` is a switch; ignored for NICs, which have a single injection port).
+// Call twice for a duplex cable.
+func (g *Graph) AddEdge(from Vertex, fromPort int, to Vertex) {
+	if _, ok := g.kinds[from]; !ok {
+		panic(fmt.Sprintf("route: edge from undeclared vertex %d", from))
+	}
+	if _, ok := g.kinds[to]; !ok {
+		panic(fmt.Sprintf("route: edge to undeclared vertex %d", to))
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, outPort: fromPort})
+}
+
+// Kind returns the declared kind of v and whether v exists.
+func (g *Graph) Kind(v Vertex) (Kind, bool) {
+	k, ok := g.kinds[v]
+	return k, ok
+}
+
+// NumVertices returns the number of declared devices.
+func (g *Graph) NumVertices() int { return len(g.kinds) }
+
+// Route computes the shortest source route from NIC `src` to NIC `dst`:
+// the sequence of switch output-port bytes the packet must carry.
+// A NIC routing to itself yields an empty route. Ties between equal-length
+// paths break toward the lexicographically smallest port sequence.
+func (g *Graph) Route(src, dst Vertex) ([]byte, error) {
+	if k, ok := g.kinds[src]; !ok || k != NICVertex {
+		return nil, fmt.Errorf("route: source %d is not a NIC", src)
+	}
+	if k, ok := g.kinds[dst]; !ok || k != NICVertex {
+		return nil, fmt.Errorf("route: destination %d is not a NIC", dst)
+	}
+	if src == dst {
+		return []byte{}, nil
+	}
+
+	// BFS over vertices. Paths may pass through switches only; a NIC other
+	// than dst never forwards. For determinism, expand each vertex's edges
+	// in sorted (outPort, to) order.
+	type state struct {
+		v     Vertex
+		route []byte
+	}
+	visited := map[Vertex]bool{src: true}
+	queue := []state{{v: src}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		edges := append([]edge(nil), g.adj[cur.v]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].outPort != edges[j].outPort {
+				return edges[i].outPort < edges[j].outPort
+			}
+			return edges[i].to < edges[j].to
+		})
+		for _, e := range edges {
+			if visited[e.to] {
+				continue
+			}
+			var r []byte
+			if g.kinds[cur.v] == SwitchVertex {
+				// Leaving a switch consumes a route byte naming the port.
+				r = append(append([]byte{}, cur.route...), byte(e.outPort))
+			} else {
+				// Leaving a NIC: injection, no route byte.
+				r = append([]byte{}, cur.route...)
+			}
+			if e.to == dst {
+				return r, nil
+			}
+			if g.kinds[e.to] == NICVertex {
+				continue // other NICs do not forward
+			}
+			visited[e.to] = true
+			queue = append(queue, state{v: e.to, route: r})
+		}
+	}
+	return nil, fmt.Errorf("route: no path from %d to %d", src, dst)
+}
+
+// AllRoutes computes routes between every ordered pair of the given NICs.
+// The result maps src -> dst -> route.
+func (g *Graph) AllRoutes(nics []Vertex) (map[Vertex]map[Vertex][]byte, error) {
+	out := make(map[Vertex]map[Vertex][]byte, len(nics))
+	for _, s := range nics {
+		out[s] = make(map[Vertex][]byte, len(nics))
+		for _, d := range nics {
+			r, err := g.Route(s, d)
+			if err != nil {
+				return nil, err
+			}
+			out[s][d] = r
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// star builds a single-switch topology: switch 0, NICs 1..n attached to
+// ports 0..n-1, duplex.
+func star(n int) (*Graph, []Vertex) {
+	g := NewGraph()
+	sw := Vertex(0)
+	g.AddVertex(sw, SwitchVertex)
+	nics := make([]Vertex, n)
+	for i := 0; i < n; i++ {
+		v := Vertex(i + 1)
+		g.AddVertex(v, NICVertex)
+		g.AddEdge(sw, i, v)
+		g.AddEdge(v, 0, sw)
+		nics[i] = v
+	}
+	return g, nics
+}
+
+func TestSingleSwitchRoute(t *testing.T) {
+	g, nics := star(16)
+	r, err := g.Route(nics[0], nics[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0] != 5 {
+		t.Fatalf("route = %v, want [5]", r)
+	}
+}
+
+func TestSelfRouteEmpty(t *testing.T) {
+	g, nics := star(4)
+	r, err := g.Route(nics[2], nics[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 0 {
+		t.Fatalf("self route = %v, want empty", r)
+	}
+}
+
+func TestRouteFromSwitchErrors(t *testing.T) {
+	g, _ := star(2)
+	if _, err := g.Route(Vertex(0), Vertex(1)); err == nil {
+		t.Fatal("routing from a switch should error")
+	}
+	if _, err := g.Route(Vertex(1), Vertex(0)); err == nil {
+		t.Fatal("routing to a switch should error")
+	}
+}
+
+func TestRouteUnknownVertexErrors(t *testing.T) {
+	g, nics := star(2)
+	if _, err := g.Route(nics[0], Vertex(99)); err == nil {
+		t.Fatal("routing to unknown vertex should error")
+	}
+}
+
+func TestNoPathErrors(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NICVertex)
+	g.AddVertex(2, NICVertex)
+	if _, err := g.Route(1, 2); err == nil {
+		t.Fatal("disconnected NICs should error")
+	}
+}
+
+func TestRedeclareDifferentKindPanics(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NICVertex)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddVertex(1, SwitchVertex)
+}
+
+func TestEdgeFromUndeclaredPanics(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(1, NICVertex)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdge(2, 0, 1)
+}
+
+// twoLevel builds a 2-level topology: two leaf switches each with n/2 NICs,
+// connected by an uplink on the highest port of each.
+func twoLevel(n int) (*Graph, []Vertex) {
+	g := NewGraph()
+	swA, swB := Vertex(0), Vertex(1)
+	g.AddVertex(swA, SwitchVertex)
+	g.AddVertex(swB, SwitchVertex)
+	half := n / 2
+	nics := make([]Vertex, n)
+	for i := 0; i < n; i++ {
+		v := Vertex(i + 2)
+		g.AddVertex(v, NICVertex)
+		nics[i] = v
+		sw := swA
+		port := i
+		if i >= half {
+			sw = swB
+			port = i - half
+		}
+		g.AddEdge(sw, port, v)
+		g.AddEdge(v, 0, sw)
+	}
+	g.AddEdge(swA, half, swB)
+	g.AddEdge(swB, half, swA)
+	return g, nics
+}
+
+func TestTwoLevelRoutes(t *testing.T) {
+	g, nics := twoLevel(8)
+	// Same switch: one hop.
+	r, err := g.Route(nics[0], nics[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0] != 1 {
+		t.Fatalf("same-switch route = %v, want [1]", r)
+	}
+	// Cross switch: two hops (uplink port 4, then dest port).
+	r, err = g.Route(nics[0], nics[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0] != 4 || r[1] != 1 {
+		t.Fatalf("cross-switch route = %v, want [4 1]", r)
+	}
+}
+
+func TestAllRoutes(t *testing.T) {
+	g, nics := star(4)
+	all, err := g.AllRoutes(nics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("AllRoutes size = %d", len(all))
+	}
+	for i, s := range nics {
+		for j, d := range nics {
+			r := all[s][d]
+			if i == j && len(r) != 0 {
+				t.Fatalf("self route not empty: %v", r)
+			}
+			if i != j && (len(r) != 1 || int(r[0]) != j) {
+				t.Fatalf("route %d->%d = %v", i, j, r)
+			}
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two parallel cables between NIC's switch and dest: route must pick
+	// the lowest port consistently.
+	g := NewGraph()
+	sw := Vertex(0)
+	g.AddVertex(sw, SwitchVertex)
+	a, b := Vertex(1), Vertex(2)
+	g.AddVertex(a, NICVertex)
+	g.AddVertex(b, NICVertex)
+	g.AddEdge(a, 0, sw)
+	g.AddEdge(sw, 3, b) // higher port added first
+	g.AddEdge(sw, 1, b)
+	for i := 0; i < 10; i++ {
+		r, err := g.Route(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != 1 || r[0] != 1 {
+			t.Fatalf("route = %v, want [1] (lowest port)", r)
+		}
+	}
+}
+
+func TestNICsDoNotForward(t *testing.T) {
+	// a - sw1 - b(NIC) ... b must not act as a via to c.
+	g := NewGraph()
+	g.AddVertex(0, SwitchVertex)
+	g.AddVertex(1, NICVertex)
+	g.AddVertex(2, NICVertex)
+	g.AddVertex(3, NICVertex)
+	g.AddEdge(1, 0, 0)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(2, 0, 0)
+	// NIC 3 hangs only off NIC 2 (bogus cabling): unreachable via routing.
+	g.AddEdge(2, 1, 3)
+	if _, err := g.Route(1, 3); err == nil {
+		t.Fatal("path through a NIC should not exist")
+	}
+}
+
+func TestNumVertices(t *testing.T) {
+	g, _ := star(5)
+	if g.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d, want 6", g.NumVertices())
+	}
+	if k, ok := g.Kind(0); !ok || k != SwitchVertex {
+		t.Fatal("Kind(0) wrong")
+	}
+}
+
+// Property: on a random connected two-level topology every NIC pair has a
+// route, route length <= 2 switches (diameter), and the route replayed
+// against the adjacency actually reaches the destination.
+func TestPropertyRoutesReachDestination(t *testing.T) {
+	replay := func(g *Graph, src, dst Vertex, r []byte) bool {
+		cur := src
+		i := 0
+		for steps := 0; steps < 10; steps++ {
+			if cur == dst {
+				return i == len(r)
+			}
+			k, _ := g.Kind(cur)
+			var want int
+			if k == SwitchVertex {
+				if i >= len(r) {
+					return false
+				}
+				want = int(r[i])
+				i++
+			} else {
+				want = -1 // NIC: single injection edge, take the only edge
+			}
+			next := Vertex(-1)
+			for _, e := range g.adj[cur] {
+				if k == SwitchVertex && e.outPort == want {
+					next = e.to
+					break
+				}
+				if k == NICVertex {
+					next = e.to
+					break
+				}
+			}
+			if next == Vertex(-1) {
+				return false
+			}
+			cur = next
+		}
+		return cur == dst && i == len(r)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)*2
+		g, nics := twoLevel(n)
+		for _, s := range nics {
+			for _, d := range nics {
+				if s == d {
+					continue
+				}
+				r, err := g.Route(s, d)
+				if err != nil {
+					return false
+				}
+				if len(r) > 2 {
+					return false
+				}
+				if !replay(g, s, d, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"gmsim/internal/sim"
+)
+
+// Schedule callback events and run them in time order.
+func ExampleSimulator() {
+	s := sim.New()
+	s.After(30*sim.Microsecond, func() { fmt.Println("third, at", s.Now()) })
+	s.After(10*sim.Microsecond, func() { fmt.Println("first, at", s.Now()) })
+	s.After(20*sim.Microsecond, func() { fmt.Println("second, at", s.Now()) })
+	s.Run()
+	// Output:
+	// first, at 10.00us
+	// second, at 20.00us
+	// third, at 30.00us
+}
+
+// Processes run blocking-style code in lock-step with the event loop.
+func ExampleSimulator_Spawn() {
+	s := sim.New()
+	done := s.NewSignal()
+	s.Spawn("worker", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond) // simulated work
+		done.Fire()
+	})
+	s.Spawn("waiter", func(p *sim.Proc) {
+		p.Wait(done)
+		fmt.Println("worker finished at", p.Now())
+	})
+	s.Run()
+	// Output: worker finished at 50.00us
+}

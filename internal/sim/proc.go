@@ -1,0 +1,193 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that executes in strict lock-step
+// with the event loop. At any instant at most one goroutine in the whole
+// simulation is runnable — either the event loop or exactly one process —
+// so simulations that use processes remain fully deterministic.
+//
+// Process code interacts with simulated time only through the blocking
+// methods (Sleep, Advance, Wait...). Between those calls it runs in zero
+// simulated time, which models host code whose cost is accounted for
+// explicitly by the caller (see package host).
+type Proc struct {
+	sim      *Simulator
+	name     string
+	resume   chan struct{}
+	parked   chan struct{}
+	finished bool
+}
+
+// Spawn starts a new process executing body. The body begins running at the
+// current simulated time, after already-scheduled same-time events.
+func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.finished = true
+		s.procs--
+		p.parked <- struct{}{}
+	}()
+	s.After(0, p.wakeNow)
+	return p
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this process runs on.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sim.Now() }
+
+// Finished reports whether the process body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// wakeNow transfers control from the event loop to the process goroutine and
+// blocks until the process parks again (or finishes). It must only be called
+// from the event loop.
+func (p *Proc) wakeNow() {
+	if p.finished {
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park returns control to the event loop and blocks until the next wake.
+// It must only be called from the process goroutine.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d nanoseconds of simulated time.
+// Sleep(0) yields: other events scheduled at the current instant run first.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q sleeping negative duration %d", p.name, d))
+	}
+	p.sim.After(d, p.wakeNow)
+	p.park()
+}
+
+// Advance is Sleep under a name that reads as "consume this much CPU time".
+// Host models use it to charge per-operation costs.
+func (p *Proc) Advance(d Time) { p.Sleep(d) }
+
+// Wait parks the process until the signal fires. If the signal has already
+// been fired in "latched" mode, Wait returns immediately (consuming the
+// latch). The return value is the simulated time at which the process was
+// woken.
+func (p *Proc) Wait(sig *Signal) Time {
+	if sig.latched {
+		sig.latched = false
+		return p.sim.Now()
+	}
+	sig.waiters = append(sig.waiters, p)
+	p.sim.blocked++
+	p.park()
+	p.sim.blocked--
+	return p.sim.Now()
+}
+
+// WaitTimeout parks the process until the signal fires or d elapses.
+// It reports whether the signal fired (true) or the wait timed out (false).
+func (p *Proc) WaitTimeout(sig *Signal, d Time) bool {
+	if sig.latched {
+		sig.latched = false
+		return true
+	}
+	fired := false
+	w := &timedWaiter{p: p}
+	sig.timedWaiters = append(sig.timedWaiters, w)
+	w.timer = p.sim.After(d, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		sig.removeTimed(w)
+		p.wakeNow()
+	})
+	p.sim.blocked++
+	w.onFire = func() { fired = true }
+	p.park()
+	p.sim.blocked--
+	return fired
+}
+
+// Signal is a broadcast wakeup usable by processes. Firing wakes every
+// current waiter at the current simulated time; waiters that arrive later
+// wait for the next Fire. FireLatched additionally remembers one firing so
+// that a single future Wait returns immediately (a one-shot completion
+// flag, e.g. "barrier done").
+type Signal struct {
+	waiters      []*Proc
+	timedWaiters []*timedWaiter
+	latched      bool
+	sim          *Simulator
+}
+
+type timedWaiter struct {
+	p      *Proc
+	timer  EventID
+	done   bool
+	onFire func()
+}
+
+// NewSignal returns a signal bound to the simulator.
+func (s *Simulator) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Fire wakes all current waiters. Each waiter resumes at the current
+// simulated time, in the order they began waiting.
+func (sig *Signal) Fire() {
+	waiters := sig.waiters
+	sig.waiters = nil
+	timed := sig.timedWaiters
+	sig.timedWaiters = nil
+	for _, p := range waiters {
+		p.wakeNow()
+	}
+	for _, w := range timed {
+		if w.done {
+			continue
+		}
+		w.done = true
+		sig.sim.Cancel(w.timer)
+		if w.onFire != nil {
+			w.onFire()
+		}
+		w.p.wakeNow()
+	}
+}
+
+// FireLatched fires the signal; if nobody is waiting, the firing is latched
+// so the next single Wait returns immediately.
+func (sig *Signal) FireLatched() {
+	if len(sig.waiters) == 0 && len(sig.timedWaiters) == 0 {
+		sig.latched = true
+		return
+	}
+	sig.Fire()
+}
+
+// Waiting reports how many processes are currently parked on the signal.
+func (sig *Signal) Waiting() int { return len(sig.waiters) + len(sig.timedWaiters) }
+
+func (sig *Signal) removeTimed(w *timedWaiter) {
+	for i, x := range sig.timedWaiters {
+		if x == w {
+			sig.timedWaiters = append(sig.timedWaiters[:i], sig.timedWaiters[i+1:]...)
+			return
+		}
+	}
+}

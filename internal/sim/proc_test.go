@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSpawnRunsBody(t *testing.T) {
+	s := New()
+	ran := false
+	s.Spawn("p", func(p *Proc) { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("process body did not run")
+	}
+	if s.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", s.LiveProcs())
+	}
+}
+
+func TestProcSleepAdvancesTime(t *testing.T) {
+	s := New()
+	var t1, t2 Time
+	s.Spawn("p", func(p *Proc) {
+		t1 = p.Now()
+		p.Sleep(100)
+		t2 = p.Now()
+	})
+	s.Run()
+	if t1 != 0 || t2 != 100 {
+		t.Fatalf("times = %v,%v want 0,100", t1, t2)
+	}
+}
+
+func TestProcSleepZeroYields(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	s.Run()
+	// a runs first (spawned first), yields; b runs; then a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcNegativeSleepPanics(t *testing.T) {
+	s := New()
+	var recovered bool
+	s.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		p.Sleep(-5)
+	})
+	s.Run()
+	if !recovered {
+		t.Fatal("negative sleep did not panic")
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.Sleep(10)
+		}
+	})
+	s.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.Sleep(10)
+		}
+	})
+	s.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("len = %d want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalWakesWaiter(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	var wokenAt Time = -1
+	s.Spawn("waiter", func(p *Proc) {
+		wokenAt = p.Wait(sig)
+	})
+	s.After(500, sig.Fire)
+	s.Run()
+	if wokenAt != 500 {
+		t.Fatalf("woken at %v, want 500", wokenAt)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	woken := 0
+	for i := 0; i < 5; i++ {
+		s.Spawn("w", func(p *Proc) {
+			p.Wait(sig)
+			woken++
+		})
+	}
+	s.After(10, func() {
+		if sig.Waiting() != 5 {
+			t.Errorf("Waiting = %d, want 5", sig.Waiting())
+		}
+		sig.Fire()
+	})
+	s.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestSignalLatched(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	sig.FireLatched() // nobody waiting: latch
+	var wokenAt Time = -1
+	s.Spawn("w", func(p *Proc) {
+		p.Sleep(100)
+		wokenAt = p.Wait(sig) // should return immediately
+	})
+	s.Run()
+	if wokenAt != 100 {
+		t.Fatalf("woken at %v, want 100 (latched signal should not block)", wokenAt)
+	}
+}
+
+func TestFireLatchedWithWaiterFiresImmediately(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	woken := false
+	s.Spawn("w", func(p *Proc) {
+		p.Wait(sig)
+		woken = true
+	})
+	s.After(10, sig.FireLatched)
+	s.Run()
+	if !woken {
+		t.Fatal("FireLatched with a waiter did not wake it")
+	}
+	if sig.latched {
+		t.Fatal("FireLatched with a waiter should not latch")
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	var got bool
+	s.Spawn("w", func(p *Proc) {
+		got = p.WaitTimeout(sig, 1000)
+	})
+	s.After(100, sig.Fire)
+	s.Run()
+	if !got {
+		t.Fatal("WaitTimeout should report signal fired")
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestWaitTimeoutExpires(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	var got bool
+	var at Time
+	s.Spawn("w", func(p *Proc) {
+		got = p.WaitTimeout(sig, 200)
+		at = p.Now()
+	})
+	s.Run()
+	if got {
+		t.Fatal("WaitTimeout should report timeout")
+	}
+	if at != 200 {
+		t.Fatalf("resumed at %v, want 200", at)
+	}
+	// A later Fire must not try to wake the timed-out process.
+	sig.Fire()
+}
+
+func TestWaitTimeoutLatched(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	sig.FireLatched()
+	var got bool
+	s.Spawn("w", func(p *Proc) {
+		got = p.WaitTimeout(sig, 200)
+	})
+	s.Run()
+	if !got || s.Now() != 0 {
+		t.Fatalf("latched WaitTimeout: got=%v now=%v, want true,0", got, s.Now())
+	}
+}
+
+func TestStrandedDetection(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	s.Spawn("w", func(p *Proc) { p.Wait(sig) })
+	s.Run()
+	if s.Stranded() != 1 {
+		t.Fatalf("Stranded = %d, want 1", s.Stranded())
+	}
+	// Unstick the process so the goroutine does not leak into other tests.
+	sig.Fire()
+}
+
+func TestStrandedZeroWhenEventsPending(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	s.Spawn("w", func(p *Proc) { p.Wait(sig) })
+	s.RunUntil(0)
+	s.After(10, sig.Fire)
+	if s.Stranded() != 0 {
+		t.Fatalf("Stranded = %d, want 0 while wake pending", s.Stranded())
+	}
+	s.Run()
+}
+
+func TestProcWakingProcViaSignal(t *testing.T) {
+	// A process firing a signal directly (not via the event loop) must
+	// hand control to the woken process and get it back.
+	s := New()
+	sig := s.NewSignal()
+	var order []string
+	s.Spawn("waiter", func(p *Proc) {
+		p.Wait(sig)
+		order = append(order, "waiter-woken")
+	})
+	s.Spawn("firer", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "fire")
+		sig.Fire()
+		order = append(order, "after-fire")
+	})
+	s.Run()
+	want := []string{"fire", "waiter-woken", "after-fire"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestManyProcsBarrierStyle(t *testing.T) {
+	// N processes wait on a signal fired when the last one arrives —
+	// a miniature barrier implemented directly on the engine.
+	s := New()
+	const n = 16
+	sig := s.NewSignal()
+	arrived := 0
+	exitTimes := make([]Time, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(Time(i * 10)) // staggered arrival
+			arrived++
+			if arrived == n {
+				sig.Fire()
+			} else {
+				p.Wait(sig)
+			}
+			exitTimes = append(exitTimes, p.Now())
+		})
+	}
+	s.Run()
+	if len(exitTimes) != n {
+		t.Fatalf("%d exits, want %d", len(exitTimes), n)
+	}
+	for _, et := range exitTimes {
+		if et != Time((n-1)*10) {
+			t.Fatalf("exit at %v, want %v", et, Time((n-1)*10))
+		}
+	}
+}
+
+func TestProcName(t *testing.T) {
+	s := New()
+	s.Spawn("alpha", func(p *Proc) {
+		if p.Name() != "alpha" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Sim() != s {
+			t.Error("Sim() mismatch")
+		}
+	})
+	s.Run()
+}
+
+func TestFinished(t *testing.T) {
+	s := New()
+	p := s.Spawn("p", func(p *Proc) { p.Sleep(10) })
+	s.RunUntil(5)
+	if p.Finished() {
+		t.Fatal("Finished true while sleeping")
+	}
+	s.Run()
+	if !p.Finished() {
+		t.Fatal("Finished false after completion")
+	}
+}

@@ -1,0 +1,244 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timestamped events and a virtual
+// clock measured in nanoseconds. Events scheduled for the same instant run
+// in the order they were scheduled, which makes every simulation run
+// bit-for-bit reproducible.
+//
+// Two execution styles are supported on top of the same clock:
+//
+//   - callback events, scheduled with At/After, for modeling hardware state
+//     machines (NIC firmware, DMA engines, switch ports);
+//   - processes (see Proc), goroutines that run in strict lock-step with the
+//     event loop, for modeling host programs written in a blocking style.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros reports t as a floating-point count of microseconds, the unit the
+// paper reports all latencies in.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point count of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time in microseconds with two decimals, e.g. "102.14us".
+func (t Time) String() string { return fmt.Sprintf("%.2fus", t.Micros()) }
+
+// FromMicros converts a floating-point microsecond count to a Time,
+// rounding to the nearest nanosecond.
+func FromMicros(us float64) Time {
+	if us < 0 {
+		return Time(us*1000 - 0.5)
+	}
+	return Time(us*1000 + 0.5)
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID int64
+
+type event struct {
+	at    Time
+	seq   int64 // tie-break: FIFO among same-time events
+	id    EventID
+	fn    func()
+	index int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulator. The zero value is not usable;
+// call New.
+type Simulator struct {
+	now       Time
+	heap      eventHeap
+	seq       int64
+	nextID    EventID
+	cancelled map[EventID]bool
+	executed  int64
+	running   bool
+	procs     int // live (spawned, not finished) processes
+	blocked   int // processes parked on a Signal with no pending wake
+}
+
+// New returns a simulator with the clock at zero and no pending events.
+func New() *Simulator {
+	return &Simulator{cancelled: make(map[EventID]bool)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of scheduled, not-yet-cancelled events.
+func (s *Simulator) Pending() int { return len(s.heap) - len(s.cancelled) }
+
+// Executed returns the total number of events executed so far. Useful for
+// bounding runaway simulations in tests.
+func (s *Simulator) Executed() int64 { return s.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modeling bug.
+func (s *Simulator) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	s.nextID++
+	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	heap.Push(&s.heap, e)
+	return e.id
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (s *Simulator) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran, or was already cancelled, is a no-op and returns false.
+func (s *Simulator) Cancel(id EventID) bool {
+	// Lazy deletion: mark and skip at pop time. The map stays small because
+	// entries are removed when the event surfaces.
+	for _, e := range s.heap {
+		if e.id == id {
+			if s.cancelled[id] {
+				return false
+			}
+			s.cancelled[id] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if s.cancelled[e.id] {
+			delete(s.cancelled, e.id)
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (s *Simulator) Run() {
+	s.running = true
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled at t run; later events remain pending.
+func (s *Simulator) RunUntil(t Time) {
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d nanoseconds of simulated time from now.
+func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+func (s *Simulator) peek() *event {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if s.cancelled[e.id] {
+			delete(s.cancelled, e.id)
+			heap.Pop(&s.heap)
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists.
+func (s *Simulator) NextEventTime() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// Stranded reports the number of processes that are parked waiting for a
+// signal while no event is pending that could wake them. A nonzero value
+// after Run returns indicates a lost-wakeup deadlock in the modeled system.
+func (s *Simulator) Stranded() int {
+	if s.Pending() > 0 {
+		return 0
+	}
+	return s.blocked
+}
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (s *Simulator) LiveProcs() int { return s.procs }

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample variance should be 0")
+	}
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty sample percentile should be 0")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 || s.Median() != 7 {
+		t.Fatalf("single value sample wrong: %v", s.String())
+	}
+	if s.Variance() != 0 {
+		t.Fatal("single value variance should be 0")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	if !almostEqual(s.Mean(), 31.0/8, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 31 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	// population variance 4 => sample variance 4*8/7
+	want := 4.0 * 8 / 7
+	if !almostEqual(s.Variance(), want, 1e-9) {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), want)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 100 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if !almostEqual(s.Median(), 50.5, 1e-9) {
+		t.Fatalf("Median = %v, want 50.5", s.Median())
+	}
+	if !almostEqual(s.Percentile(25), 25.75, 1e-9) {
+		t.Fatalf("P25 = %v, want 25.75", s.Percentile(25))
+	}
+}
+
+func TestPercentileAfterAdd(t *testing.T) {
+	// Adding after a percentile query must resort.
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	_ = s.Median()
+	s.Add(1)
+	if s.Median() != 10 {
+		t.Fatalf("Median = %v, want 10", s.Median())
+	}
+}
+
+func TestPercentileOutOfRange(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if s.Percentile(-5) != 1 || s.Percentile(200) != 2 {
+		t.Fatal("out of range percentile should clamp")
+	}
+}
+
+func TestStringNonPanic(t *testing.T) {
+	var s Sample
+	s.Add(1.5)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// Property: mean lies within [min, max]; variance nonnegative;
+// median within [min, max].
+func TestPropertySampleInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		count := int(n%100) + 1
+		for i := 0; i < count; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		if s.Variance() < 0 {
+			return false
+		}
+		m := s.Median()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < 37; i++ {
+			s.Add(rng.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := s.Percentile(p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure 5(a)", "Nodes", "NIC-PE", "Host-PE")
+	tb.AddRow(16, 102.14, 181.81)
+	tb.AddRow(8, 82.72, "n/a")
+	out := tb.String()
+	if !strings.Contains(out, "Figure 5(a)") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "102.14") {
+		t.Fatal("missing float cell")
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatal("missing string cell")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow(1)
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatal("empty title should not emit blank line")
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "X", "Y")
+	tb.AddRow("longvalue", 1)
+	tb.AddRow("a", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	last := lines[len(lines)-1]
+	// Second column should start at the same offset on all data rows.
+	if idx := strings.Index(last, "2"); idx != strings.Index(lines[len(lines)-2], "1") {
+		t.Fatalf("columns misaligned:\n%s", tb.String())
+	}
+}

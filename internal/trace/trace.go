@@ -1,0 +1,189 @@
+// Package trace records timestamped fabric events so experiments can be
+// inspected at packet granularity: per-message wire latencies, event
+// timelines, and Figure-2 style reconstructions of what the NIC actually
+// did during a barrier.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+const (
+	// Inject: a NIC began transmitting a packet.
+	Inject Kind = iota
+	// Deliver: a packet fully arrived at its destination NIC.
+	Deliver
+	// Drop: the fabric discarded a packet.
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded fabric event.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Src    network.NodeID
+	Dst    network.NodeID
+	Frame  mcp.FrameKind
+	Seq    uint32
+	Size   int
+	Reason string // drop reason
+	packet *network.Packet
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10.2fus %-7s %v %d->%d seq=%d size=%d %s",
+		e.At.Micros(), e.Kind, e.Frame, e.Src, e.Dst, e.Seq, e.Size, e.Reason)
+}
+
+// Recorder implements network.Observer and accumulates events.
+type Recorder struct {
+	sim     *sim.Simulator
+	events  []Event
+	enabled bool
+	filter  func(Event) bool
+}
+
+// NewRecorder creates a recorder and installs it on the fabric.
+// Recording starts enabled.
+func NewRecorder(f *network.Fabric) *Recorder {
+	r := &Recorder{sim: f.Sim(), enabled: true}
+	f.SetObserver(r)
+	return r
+}
+
+// Enable and Disable gate recording (e.g. record only the steady state).
+func (r *Recorder) Enable()  { r.enabled = true }
+func (r *Recorder) Disable() { r.enabled = false }
+
+// SetFilter installs a predicate; events it rejects are not recorded.
+func (r *Recorder) SetFilter(fn func(Event) bool) { r.filter = fn }
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() { r.events = nil }
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+func (r *Recorder) record(kind Kind, p *network.Packet, reason string) {
+	if !r.enabled {
+		return
+	}
+	ev := Event{
+		At:     r.sim.Now(),
+		Kind:   kind,
+		Src:    p.Src,
+		Dst:    p.Dst,
+		Size:   p.Size,
+		Reason: reason,
+		packet: p,
+	}
+	if f, ok := p.Payload.(*mcp.Frame); ok {
+		ev.Frame = f.Kind
+		ev.Seq = f.Seq
+	}
+	if r.filter != nil && !r.filter(ev) {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// PacketInjected implements network.Observer.
+func (r *Recorder) PacketInjected(p *network.Packet) { r.record(Inject, p, "") }
+
+// PacketDelivered implements network.Observer.
+func (r *Recorder) PacketDelivered(p *network.Packet) { r.record(Deliver, p, "") }
+
+// PacketDropped implements network.Observer.
+func (r *Recorder) PacketDropped(p *network.Packet, reason string) { r.record(Drop, p, reason) }
+
+// Filter returns the recorded events matching the predicate.
+func (r *Recorder) Filter(fn func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if fn(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Between returns events with t0 <= At <= t1.
+func (r *Recorder) Between(t0, t1 sim.Time) []Event {
+	return r.Filter(func(e Event) bool { return e.At >= t0 && e.At <= t1 })
+}
+
+// WireLatency pairs injections with deliveries of the same packet and
+// returns the per-packet wire latencies in time order.
+type WireLatency struct {
+	Src, Dst network.NodeID
+	Frame    mcp.FrameKind
+	Inject   sim.Time
+	Deliver  sim.Time
+}
+
+// Latency returns the wire time.
+func (w WireLatency) Latency() sim.Time { return w.Deliver - w.Inject }
+
+// WireLatencies extracts inject->deliver pairs from the recording.
+func (r *Recorder) WireLatencies() []WireLatency {
+	injected := make(map[*network.Packet]sim.Time)
+	var out []WireLatency
+	for _, e := range r.events {
+		switch e.Kind {
+		case Inject:
+			injected[e.packet] = e.At
+		case Deliver:
+			if t0, ok := injected[e.packet]; ok {
+				out = append(out, WireLatency{
+					Src: e.Src, Dst: e.Dst, Frame: e.Frame,
+					Inject: t0, Deliver: e.At,
+				})
+				delete(injected, e.packet)
+			}
+		}
+	}
+	return out
+}
+
+// Counts summarizes the recording: events per (kind, frame kind).
+func (r *Recorder) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, e := range r.events {
+		out[fmt.Sprintf("%s/%s", e.Kind, e.Frame)]++
+	}
+	return out
+}
+
+// Dump renders the recording as text, one event per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

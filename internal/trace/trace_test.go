@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/sim"
+)
+
+// runTracedBarrier runs one NIC-PE barrier on n nodes with a recorder.
+func runTracedBarrier(t *testing.T, n int) (*Recorder, *cluster.Cluster) {
+	t.Helper()
+	cl := cluster.New(cluster.DefaultConfig(n))
+	rec := NewRecorder(cl.Fabric())
+	g := core.UniformGroup(n, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		comm, err := core.NewComm(p, port, 32)
+		if err != nil {
+			t.Errorf("comm: %v", err)
+			return
+		}
+		if err := comm.Barrier(p, mcp.PE, g, rank, 0); err != nil {
+			t.Errorf("barrier: %v", err)
+		}
+	})
+	cl.Run()
+	return rec, cl
+}
+
+func TestRecorderCapturesBarrierTraffic(t *testing.T) {
+	rec, _ := runTracedBarrier(t, 4)
+	// 4 nodes × 2 steps = 8 PE frames: 8 injects + 8 delivers.
+	var inj, del int
+	for _, e := range rec.Events() {
+		if e.Frame != mcp.BarrierPEFrame {
+			t.Fatalf("unexpected frame kind %v in unreliable barrier-only run", e.Frame)
+		}
+		switch e.Kind {
+		case Inject:
+			inj++
+		case Deliver:
+			del++
+		}
+	}
+	if inj != 8 || del != 8 {
+		t.Fatalf("inject/deliver = %d/%d, want 8/8", inj, del)
+	}
+}
+
+func TestEventsAreTimeOrdered(t *testing.T) {
+	rec, _ := runTracedBarrier(t, 8)
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of time order")
+		}
+	}
+	if rec.Len() != len(evs) {
+		t.Fatal("Len mismatch")
+	}
+}
+
+func TestWireLatencies(t *testing.T) {
+	rec, cl := runTracedBarrier(t, 4)
+	lats := rec.WireLatencies()
+	if len(lats) != 8 {
+		t.Fatalf("latencies = %d, want 8", len(lats))
+	}
+	lp := cl.Config().Link
+	sp := cl.Config().Switch
+	want := 2*lp.Latency + sp.RouteDelay + sim.Time(float64(mcp.HeaderBytes)/lp.BandwidthMBps*1000+0.5)
+	for _, l := range lats {
+		if l.Latency() != want {
+			t.Fatalf("wire latency = %v, want %v", l.Latency(), want)
+		}
+		if l.Frame != mcp.BarrierPEFrame {
+			t.Fatalf("frame = %v", l.Frame)
+		}
+	}
+}
+
+func TestFilterAndBetween(t *testing.T) {
+	rec, _ := runTracedBarrier(t, 4)
+	evs := rec.Events()
+	mid := evs[len(evs)/2].At
+	early := rec.Between(0, mid)
+	late := rec.Between(mid+1, 1<<60)
+	if len(early)+len(late) != len(evs) {
+		t.Fatalf("Between split %d+%d != %d", len(early), len(late), len(evs))
+	}
+	injects := rec.Filter(func(e Event) bool { return e.Kind == Inject })
+	if len(injects) != 8 {
+		t.Fatalf("filtered injects = %d", len(injects))
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	cl := cluster.New(cluster.DefaultConfig(2))
+	rec := NewRecorder(cl.Fabric())
+	rec.Disable()
+	g := core.UniformGroup(2, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, _ := gm.Open(p, cl.MCP(rank), 2)
+		comm, _ := core.NewComm(p, port, 16)
+		comm.Barrier(p, mcp.PE, g, rank, 0)
+	})
+	cl.Run()
+	if rec.Len() != 0 {
+		t.Fatalf("disabled recorder captured %d events", rec.Len())
+	}
+}
+
+func TestResetAndSetFilter(t *testing.T) {
+	rec, _ := runTracedBarrier(t, 2)
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	// Recording filter applies at record time.
+	cl := cluster.New(cluster.DefaultConfig(2))
+	rec2 := NewRecorder(cl.Fabric())
+	rec2.SetFilter(func(e Event) bool { return e.Kind == Deliver })
+	g := core.UniformGroup(2, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, _ := gm.Open(p, cl.MCP(rank), 2)
+		comm, _ := core.NewComm(p, port, 16)
+		comm.Barrier(p, mcp.PE, g, rank, 0)
+	})
+	cl.Run()
+	for _, e := range rec2.Events() {
+		if e.Kind != Deliver {
+			t.Fatalf("filter leaked kind %v", e.Kind)
+		}
+	}
+	if rec2.Len() != 2 {
+		t.Fatalf("filtered events = %d, want 2", rec2.Len())
+	}
+}
+
+func TestCountsAndDump(t *testing.T) {
+	rec, _ := runTracedBarrier(t, 2)
+	counts := rec.Counts()
+	if counts["inject/barrier-pe"] != 2 || counts["deliver/barrier-pe"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	dump := rec.Dump()
+	if !strings.Contains(dump, "barrier-pe") || !strings.Contains(dump, "inject") {
+		t.Fatalf("dump missing content:\n%s", dump)
+	}
+	if Kind(42).String() == "" || Drop.String() != "drop" {
+		t.Fatal("Kind string wrong")
+	}
+}
