@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples clean
+.PHONY: all build test vet race bench figures examples clean
 
 all: build vet test
 
@@ -12,10 +12,14 @@ build:
 
 vet:
 	$(GO) vet ./...
-	gofmt -l . && test -z "$$(gofmt -l .)"
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # Regenerate every table/figure of the paper's evaluation plus extensions.
 figures:
@@ -29,8 +33,12 @@ figures:
 	$(GO) run ./cmd/barrierbench -fig scale
 	$(GO) run ./cmd/barrierbench -fig grain
 
+# bench_output.txt holds the human-readable Go benchmarks; BENCH_sim.json
+# is the machine-readable perf trajectory (events/sec, ns/event, figures
+# wall-clock serial vs parallel) that future PRs compare against.
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/simbench -json BENCH_sim.json
 
 examples:
 	$(GO) run ./examples/quickstart

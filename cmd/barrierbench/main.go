@@ -4,26 +4,32 @@
 //
 // Usage:
 //
-//	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N]
+//	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N] [-parallel W]
 //
 // GB rows report the minimum latency over all tree dimensions 1..N-1 and
 // the dimension that achieved it, matching the paper's methodology.
+// Independent measurements fan out over -parallel workers (default
+// GOMAXPROCS); results are bit-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
+	"gmsim/internal/runner"
 	"gmsim/internal/stats"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, all")
 	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	flag.Parse()
+	runner.SetDefault(*parallel)
 
 	switch *fig {
 	case "5a":

@@ -1,0 +1,186 @@
+// Command simbench measures the harness's wall-clock performance and emits
+// a machine-readable summary so the perf trajectory is tracked across PRs.
+//
+// It reports three things:
+//
+//   - engine: ns/event and events/sec of the DES core, measured on a real
+//     16-node NIC-PE barrier simulation (every event the cluster executes,
+//     divided by wall time, single-threaded);
+//   - schedule/pop and cancel micro-costs of the event heap;
+//   - figures: wall-clock of a representative figure workload (Figure 5a +
+//     the scale sweep) run serially and on the full worker pool, and the
+//     resulting speedup.
+//
+// Usage:
+//
+//	simbench [-json BENCH_sim.json] [-iters N] [-workers W]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/experiments"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/runner"
+	"gmsim/internal/sim"
+)
+
+// Report is the schema of BENCH_sim.json.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Engine      struct {
+		NsPerEvent       float64 `json:"ns_per_event"`
+		EventsPerSec     float64 `json:"events_per_sec"`
+		Events           int64   `json:"events"`
+		NsPerSchedulePop float64 `json:"ns_per_schedule_pop_depth256"`
+		NsPerCancel      float64 `json:"ns_per_cancel_depth256"`
+	} `json:"engine"`
+	Figures struct {
+		Workers     int     `json:"workers"`
+		SerialSec   float64 `json:"serial_sec"`
+		ParallelSec float64 `json:"parallel_sec"`
+		Speedup     float64 `json:"speedup"`
+	} `json:"figures"`
+}
+
+func main() {
+	jsonPath := flag.String("json", "BENCH_sim.json", "output path ('' to skip writing)")
+	iters := flag.Int("iters", 60, "timed barrier iterations per measurement")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the parallel figures run")
+	flag.Parse()
+
+	var r Report
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Engine throughput on a real workload: one 16-node NIC-PE barrier
+	// simulation, all events counted, single-threaded.
+	events, wall := barrierEngineRun(*iters)
+	r.Engine.Events = events
+	r.Engine.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+	r.Engine.EventsPerSec = float64(events) / wall.Seconds()
+	r.Engine.NsPerSchedulePop = schedulePopNs(256)
+	r.Engine.NsPerCancel = cancelNs(256)
+
+	// Figure workload serial vs parallel.
+	r.Figures.Workers = *workers
+	figures := func() {
+		experiments.Figure5a(*iters)
+		experiments.ScaleSweep([]int{2, 4, 8, 16, 32}, *iters)
+	}
+	runner.SetDefault(1)
+	t0 := time.Now()
+	figures()
+	r.Figures.SerialSec = time.Since(t0).Seconds()
+	runner.SetDefault(*workers)
+	t0 = time.Now()
+	figures()
+	r.Figures.ParallelSec = time.Since(t0).Seconds()
+	r.Figures.Speedup = r.Figures.SerialSec / r.Figures.ParallelSec
+
+	fmt.Printf("engine: %.1f ns/event (%.0f events/sec over %d events)\n",
+		r.Engine.NsPerEvent, r.Engine.EventsPerSec, r.Engine.Events)
+	fmt.Printf("heap:   %.1f ns/schedule+pop, %.1f ns/cancel (depth 256)\n",
+		r.Engine.NsPerSchedulePop, r.Engine.NsPerCancel)
+	fmt.Printf("figures: serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
+		r.Figures.SerialSec, r.Figures.ParallelSec, r.Figures.Workers, r.Figures.Speedup)
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+// barrierEngineRun runs a 16-node NIC-PE barrier workload and returns the
+// number of simulator events executed and the wall time spent executing
+// them. This is the same cluster construction MeasureBarrier uses, inlined
+// so the simulator's event counter is reachable.
+func barrierEngineRun(iters int) (int64, time.Duration) {
+	const n = 16
+	cl := cluster.New(cluster.DefaultConfig(n))
+	g := core.UniformGroup(n, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			panic(err)
+		}
+		comm, err := core.NewComm(p, port, 4*n+16)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < iters+5; i++ {
+			if err := comm.Barrier(p, mcp.PE, g, rank, 0); err != nil {
+				panic(err)
+			}
+		}
+	})
+	t0 := time.Now()
+	cl.Run()
+	return cl.Sim().Executed(), time.Since(t0)
+}
+
+// schedulePopNs measures one schedule+pop pair at a steady heap depth.
+func schedulePopNs(depth int) float64 {
+	const ops = 2_000_000
+	s := sim.New()
+	rng := rand.New(rand.NewSource(1))
+	remaining := ops
+	var fn func()
+	fn = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		s.After(sim.Time(rng.Intn(1000)+1), fn)
+	}
+	for i := 0; i < depth; i++ {
+		s.After(sim.Time(rng.Intn(1000)+1), fn)
+	}
+	t0 := time.Now()
+	s.Run()
+	return float64(time.Since(t0).Nanoseconds()) / float64(ops+depth)
+}
+
+// cancelNs measures one Cancel against a heap of the given depth.
+func cancelNs(depth int) float64 {
+	const batches = 5000
+	s := sim.New()
+	rng := rand.New(rand.NewSource(2))
+	ids := make([]sim.EventID, 0, depth)
+	var total time.Duration
+	for b := 0; b < batches; b++ {
+		ids = ids[:0]
+		for j := 0; j < depth; j++ {
+			ids = append(ids, s.After(sim.Time(rng.Intn(1000)+1), func() {}))
+		}
+		rng.Shuffle(len(ids), func(x, y int) { ids[x], ids[y] = ids[y], ids[x] })
+		t0 := time.Now()
+		for _, id := range ids {
+			s.Cancel(id)
+		}
+		total += time.Since(t0)
+	}
+	return float64(total.Nanoseconds()) / float64(batches*depth)
+}

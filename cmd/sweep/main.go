@@ -5,18 +5,20 @@
 //
 // Usage:
 //
-//	sweep [-nic 4.3|7.2] [-level nic|host] [-sizes 4,8,16] [-iters N]
+//	sweep [-nic 4.3|7.2] [-level nic|host] [-sizes 4,8,16] [-iters N] [-parallel W]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
+	"gmsim/internal/runner"
 	"gmsim/internal/stats"
 )
 
@@ -25,7 +27,9 @@ func main() {
 	levelArg := flag.String("level", "nic", "barrier placement: nic or host")
 	sizesArg := flag.String("sizes", "4,8,16", "comma-separated node counts")
 	iters := flag.Int("iters", 100, "timed iterations per point")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	flag.Parse()
+	runner.SetDefault(*parallel)
 
 	mkCfg := cluster.DefaultConfig
 	if *nicModel == "7.2" {

@@ -6,6 +6,7 @@ import (
 	"gmsim/internal/gm"
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 )
 
@@ -114,19 +115,40 @@ func MeasureCollective(spec CollSpec) float64 {
 	return total / float64(spec.Iters)
 }
 
-// OptimalCollDim sweeps the tree dimension and returns the best (dim,
-// latency), mirroring the GB barrier methodology.
-func OptimalCollDim(cfg cluster.Config, nic bool, op mcp.CollOp, elems, iters int) (int, float64) {
-	bestDim, bestLat := 1, 0.0
+// MeasureCollectives measures every spec on the worker pool, returning
+// latencies in input order (bit-identical to a serial loop; each
+// measurement owns its Simulator).
+func MeasureCollectives(specs []CollSpec) []float64 {
+	return runner.Map(0, specs, MeasureCollective)
+}
+
+// collSweepSpecs builds the per-dimension specs for one operation.
+func collSweepSpecs(cfg cluster.Config, nic bool, op mcp.CollOp, elems, iters int) []CollSpec {
+	specs := make([]CollSpec, 0, cfg.Nodes-1)
 	for dim := 1; dim <= cfg.Nodes-1; dim++ {
-		lat := MeasureCollective(CollSpec{
+		specs = append(specs, CollSpec{
 			Cluster: cfg, NICBased: nic, Op: op, Dim: dim, Elems: elems, Iters: iters,
 		})
-		if dim == 1 || lat < bestLat {
-			bestDim, bestLat = dim, lat
+	}
+	return specs
+}
+
+// bestCollDim folds a dimension sweep (dims 1..len) to the first dimension
+// achieving the minimum latency, matching the serial tie-break.
+func bestCollDim(lats []float64) (int, float64) {
+	bestDim, bestLat := 1, 0.0
+	for i, lat := range lats {
+		if i == 0 || lat < bestLat {
+			bestDim, bestLat = i+1, lat
 		}
 	}
 	return bestDim, bestLat
+}
+
+// OptimalCollDim sweeps the tree dimension and returns the best (dim,
+// latency), mirroring the GB barrier methodology.
+func OptimalCollDim(cfg cluster.Config, nic bool, op mcp.CollOp, elems, iters int) (int, float64) {
+	return bestCollDim(MeasureCollectives(collSweepSpecs(cfg, nic, op, elems, iters)))
 }
 
 // CollRow is one node-count row of the collective comparison.
@@ -141,20 +163,44 @@ type CollRow struct {
 }
 
 // CollectiveComparison produces the E10 table: optimal-dimension latencies
-// for the three operations at both levels.
+// for the three operations at both levels. All sizes × operations × levels
+// × dimensions go to the worker pool as one flat batch, then the in-order
+// latencies fold back into rows.
 func CollectiveComparison(mkCfg func(n int) cluster.Config, sizes []int, elems, iters int) []CollRow {
-	rows := make([]CollRow, 0, len(sizes))
+	type combo struct {
+		nic bool
+		op  mcp.CollOp
+	}
+	combos := []combo{
+		{true, mcp.Broadcast}, {false, mcp.Broadcast},
+		{true, mcp.Reduce}, {false, mcp.Reduce},
+		{true, mcp.AllReduce}, {false, mcp.AllReduce},
+		{true, mcp.AllGather}, {false, mcp.AllGather},
+	}
+	var specs []CollSpec
 	for _, n := range sizes {
 		cfg := mkCfg(n)
+		for _, c := range combos {
+			specs = append(specs, collSweepSpecs(cfg, c.nic, c.op, elems, iters)...)
+		}
+	}
+	lats := MeasureCollectives(specs)
+
+	rows := make([]CollRow, 0, len(sizes))
+	i := 0
+	for _, n := range sizes {
+		dims := n - 1
 		row := CollRow{Nodes: n}
-		_, row.NICBcast = OptimalCollDim(cfg, true, mcp.Broadcast, elems, iters)
-		_, row.HostBcast = OptimalCollDim(cfg, false, mcp.Broadcast, elems, iters)
-		_, row.NICReduce = OptimalCollDim(cfg, true, mcp.Reduce, elems, iters)
-		_, row.HostReduce = OptimalCollDim(cfg, false, mcp.Reduce, elems, iters)
-		_, row.NICAllRed = OptimalCollDim(cfg, true, mcp.AllReduce, elems, iters)
-		_, row.HostAllRed = OptimalCollDim(cfg, false, mcp.AllReduce, elems, iters)
-		_, row.NICAllGat = OptimalCollDim(cfg, true, mcp.AllGather, elems, iters)
-		_, row.HostAllGat = OptimalCollDim(cfg, false, mcp.AllGather, elems, iters)
+		fields := []*float64{
+			&row.NICBcast, &row.HostBcast,
+			&row.NICReduce, &row.HostReduce,
+			&row.NICAllRed, &row.HostAllRed,
+			&row.NICAllGat, &row.HostAllGat,
+		}
+		for _, f := range fields {
+			_, *f = bestCollDim(lats[i : i+dims])
+			i += dims
+		}
 		row.FactorBcast = row.HostBcast / row.NICBcast
 		row.FactorAllRed = row.HostAllRed / row.NICAllRed
 		row.FactorAllGat = row.HostAllGat / row.NICAllGat

@@ -13,6 +13,7 @@ import (
 	"gmsim/internal/host"
 	"gmsim/internal/lanai"
 	"gmsim/internal/mcp"
+	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 )
 
@@ -126,30 +127,51 @@ func MeasureBarrier(spec Spec) Result {
 	}
 }
 
-// OptimalGBDim sweeps the GB tree dimension from 1 to n-1 and returns the
-// dimension with the lowest mean latency and that latency — the paper's
-// methodology for every GB data point ("we ran the test for every
-// dimension from 1 to N-1 ... the latencies reported are the minimum over
-// all dimensions").
-func OptimalGBDim(cfg cluster.Config, level Level, iters int) (int, float64) {
-	n := cfg.Nodes
+// MeasureBarriers measures every spec, fanning the independent simulations
+// out over the runner pool. Results come back in input order and are
+// bit-identical to calling MeasureBarrier serially (each measurement owns
+// its Simulator; see internal/runner).
+func MeasureBarriers(specs []Spec) []Result {
+	return runner.Map(0, specs, MeasureBarrier)
+}
+
+// gbSweepSpecs builds the per-dimension GB specs for one cluster size.
+func gbSweepSpecs(cfg cluster.Config, level Level, iters int) []Spec {
+	specs := make([]Spec, 0, cfg.Nodes-1)
+	for dim := 1; dim <= cfg.Nodes-1; dim++ {
+		specs = append(specs, Spec{Cluster: cfg, Level: level, Alg: mcp.GB, Dim: dim, Iters: iters})
+	}
+	return specs
+}
+
+// bestGBDim folds a dimension sweep's results (dims 1..len) to the first
+// dimension achieving the minimum latency — the same tie-break a serial
+// in-order sweep applies.
+func bestGBDim(results []Result) (int, float64) {
 	bestDim, bestLat := 1, 0.0
-	for dim := 1; dim <= n-1; dim++ {
-		r := MeasureBarrier(Spec{Cluster: cfg, Level: level, Alg: mcp.GB, Dim: dim, Iters: iters})
-		if dim == 1 || r.MeanMicros < bestLat {
-			bestDim, bestLat = dim, r.MeanMicros
+	for i, r := range results {
+		if i == 0 || r.MeanMicros < bestLat {
+			bestDim, bestLat = i+1, r.MeanMicros
 		}
 	}
 	return bestDim, bestLat
 }
 
+// OptimalGBDim sweeps the GB tree dimension from 1 to n-1 and returns the
+// dimension with the lowest mean latency and that latency — the paper's
+// methodology for every GB data point ("we ran the test for every
+// dimension from 1 to N-1 ... the latencies reported are the minimum over
+// all dimensions"). The per-dimension measurements run on the worker pool.
+func OptimalGBDim(cfg cluster.Config, level Level, iters int) (int, float64) {
+	return bestGBDim(MeasureBarriers(gbSweepSpecs(cfg, level, iters)))
+}
+
 // GBDimSweep returns the latency at every tree dimension (experiment E7).
 func GBDimSweep(cfg cluster.Config, level Level, iters int) []DimPoint {
-	n := cfg.Nodes
-	var out []DimPoint
-	for dim := 1; dim <= n-1; dim++ {
-		r := MeasureBarrier(Spec{Cluster: cfg, Level: level, Alg: mcp.GB, Dim: dim, Iters: iters})
-		out = append(out, DimPoint{Dim: dim, Micros: r.MeanMicros})
+	results := MeasureBarriers(gbSweepSpecs(cfg, level, iters))
+	out := make([]DimPoint, 0, len(results))
+	for i, r := range results {
+		out = append(out, DimPoint{Dim: i + 1, Micros: r.MeanMicros})
 	}
 	return out
 }
@@ -172,15 +194,34 @@ type Figure5Row struct {
 // Figure5Latencies produces the latency rows of Figure 5(a) (LANai 4.3,
 // sizes 2..16) or Figure 5(c) (LANai 7.2, sizes 2..8), depending on the
 // cluster-config constructor passed in.
+// Figure5Latencies flattens the whole figure — every size's two PE
+// measurements plus both full GB dimension sweeps — into one job list for
+// the worker pool, then folds the in-order results back into rows.
 func Figure5Latencies(mkCfg func(n int) cluster.Config, sizes []int, iters int) []Figure5Row {
-	rows := make([]Figure5Row, 0, len(sizes))
-	for _, n := range sizes {
+	var specs []Spec
+	offsets := make([]int, len(sizes))
+	for i, n := range sizes {
 		cfg := mkCfg(n)
-		row := Figure5Row{Nodes: n}
-		row.NICPE = MeasureBarrier(Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
-		row.HostPE = MeasureBarrier(Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
-		row.NICGBDim, row.NICGB = OptimalGBDim(cfg, NICLevel, iters)
-		row.HostGBDim, row.HostGB = OptimalGBDim(cfg, HostLevel, iters)
+		offsets[i] = len(specs)
+		specs = append(specs,
+			Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters},
+			Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters})
+		specs = append(specs, gbSweepSpecs(cfg, NICLevel, iters)...)
+		specs = append(specs, gbSweepSpecs(cfg, HostLevel, iters)...)
+	}
+	results := MeasureBarriers(specs)
+
+	rows := make([]Figure5Row, 0, len(sizes))
+	for i, n := range sizes {
+		o := offsets[i]
+		dims := n - 1
+		row := Figure5Row{
+			Nodes:  n,
+			NICPE:  results[o].MeanMicros,
+			HostPE: results[o+1].MeanMicros,
+		}
+		row.NICGBDim, row.NICGB = bestGBDim(results[o+2 : o+2+dims])
+		row.HostGBDim, row.HostGB = bestGBDim(results[o+2+dims : o+2+2*dims])
 		rows = append(rows, row)
 	}
 	return rows
@@ -283,12 +324,19 @@ type LayerOverheadPoint struct {
 // factor of improvement grows as a messaging layer (e.g. MPI) adds
 // per-message host overhead.
 func LayerOverheadSweep(n int, overheadsMicros []float64, iters int) []LayerOverheadPoint {
-	var out []LayerOverheadPoint
+	specs := make([]Spec, 0, 2*len(overheadsMicros))
 	for _, oh := range overheadsMicros {
 		cfg := cluster.DefaultConfig(n)
 		cfg.Host.LayerOverhead = sim.FromMicros(oh)
-		nic := MeasureBarrier(Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
-		hst := MeasureBarrier(Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
+		specs = append(specs,
+			Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters},
+			Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters})
+	}
+	results := MeasureBarriers(specs)
+	out := make([]LayerOverheadPoint, 0, len(overheadsMicros))
+	for i, oh := range overheadsMicros {
+		nic := results[2*i].MeanMicros
+		hst := results[2*i+1].MeanMicros
 		out = append(out, LayerOverheadPoint{
 			OverheadMicros: oh, NICPE: nic, HostPE: hst, Factor: hst / nic,
 		})

@@ -28,6 +28,9 @@ func within(t *testing.T, name string, got, want, relTol float64) {
 // EXPERIMENTS.md) because the host-based GB baseline is structurally pinned
 // by the host-PE calibration in our cost model.
 func TestCalibrationHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow; run without -short")
+	}
 	paper := Paper()
 	rows43 := Figure5a(iters)
 	rows72 := Figure5c(iters)

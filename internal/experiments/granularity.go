@@ -8,6 +8,7 @@ import (
 	"gmsim/internal/gm"
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 )
 
@@ -26,14 +27,26 @@ type GranPoint struct {
 	NICIter, HostIter float64 // mean iteration time, µs
 }
 
-// GranularitySweep runs the BSP loop at each compute grain. imbalance adds
-// a deterministic per-rank-per-iteration jitter of up to the given
+// GranularitySweep runs the BSP loop at each compute grain, fanning the
+// independent NIC/host measurements out over the worker pool. imbalance
+// adds a deterministic per-rank-per-iteration jitter of up to the given
 // fraction of the grain (stragglers make barriers more expensive).
 func GranularitySweep(n int, grainsMicros []float64, imbalance float64, iters int) []GranPoint {
-	out := make([]GranPoint, 0, len(grainsMicros))
+	type bspJob struct {
+		grain float64
+		nic   bool
+	}
+	jobs := make([]bspJob, 0, 2*len(grainsMicros))
 	for _, grain := range grainsMicros {
-		nicIter := measureBSP(n, grain, imbalance, true, iters)
-		hostIter := measureBSP(n, grain, imbalance, false, iters)
+		jobs = append(jobs, bspJob{grain, true}, bspJob{grain, false})
+	}
+	iterTimes := runner.Map(0, jobs, func(j bspJob) float64 {
+		return measureBSP(n, j.grain, imbalance, j.nic, iters)
+	})
+	out := make([]GranPoint, 0, len(grainsMicros))
+	for i, grain := range grainsMicros {
+		nicIter := iterTimes[2*i]
+		hostIter := iterTimes[2*i+1]
 		out = append(out, GranPoint{
 			GrainMicros: grain,
 			NICEff:      grain / nicIter,

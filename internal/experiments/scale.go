@@ -7,6 +7,7 @@ import (
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
 	"gmsim/internal/mpi"
+	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 )
 
@@ -19,18 +20,26 @@ type ScaleRow struct {
 	Factor        float64
 }
 
-// ScaleSweep measures the PE barrier at both levels for each size.
+// ScaleSweep measures the PE barrier at both levels for each size, fanning
+// all 2·len(sizes) whole-cluster simulations out over the worker pool.
 // TwoLevel splits nodes across two switches once size exceeds half the
 // largest single switch the era offered (16 ports).
 func ScaleSweep(sizes []int, iters int) []ScaleRow {
-	rows := make([]ScaleRow, 0, len(sizes))
+	specs := make([]Spec, 0, 2*len(sizes))
 	for _, n := range sizes {
 		cfg := cluster.DefaultConfig(n)
 		if n > 16 {
 			cfg.TwoLevel = true
 		}
-		nic := MeasureBarrier(Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
-		hst := MeasureBarrier(Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
+		specs = append(specs,
+			Spec{Cluster: cfg, Level: NICLevel, Alg: mcp.PE, Iters: iters},
+			Spec{Cluster: cfg, Level: HostLevel, Alg: mcp.PE, Iters: iters})
+	}
+	results := MeasureBarriers(specs)
+	rows := make([]ScaleRow, 0, len(sizes))
+	for i, n := range sizes {
+		nic := results[2*i].MeanMicros
+		hst := results[2*i+1].MeanMicros
 		rows = append(rows, ScaleRow{Nodes: n, NICPE: nic, HostPE: hst, Factor: hst / nic})
 	}
 	return rows
@@ -47,15 +56,27 @@ type MPIRow struct {
 }
 
 // MPIBarrierComparison measures MPI_Barrier latency with each backend and
-// the raw-GM factor for reference.
+// the raw-GM factor for reference. The four measurements per size are
+// independent simulations, so they all go to the worker pool as one batch.
 func MPIBarrierComparison(sizes []int, iters int) []MPIRow {
-	rows := make([]MPIRow, 0, len(sizes))
+	jobs := make([]func() float64, 0, 4*len(sizes))
 	for _, n := range sizes {
+		n := n
 		cfgC := cluster.DefaultConfig(n)
-		nicLat := measureMPIBarrier(cfgC, n, true, iters)
-		hostLat := measureMPIBarrier(cfgC, n, false, iters)
-		rawNIC := MeasureBarrier(Spec{Cluster: cfgC, Level: NICLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
-		rawHost := MeasureBarrier(Spec{Cluster: cfgC, Level: HostLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
+		jobs = append(jobs,
+			func() float64 { return measureMPIBarrier(cfgC, n, true, iters) },
+			func() float64 { return measureMPIBarrier(cfgC, n, false, iters) },
+			func() float64 {
+				return MeasureBarrier(Spec{Cluster: cfgC, Level: NICLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
+			},
+			func() float64 {
+				return MeasureBarrier(Spec{Cluster: cfgC, Level: HostLevel, Alg: mcp.PE, Iters: iters}).MeanMicros
+			})
+	}
+	lats := runner.Collect(0, jobs)
+	rows := make([]MPIRow, 0, len(sizes))
+	for i, n := range sizes {
+		nicLat, hostLat, rawNIC, rawHost := lats[4*i], lats[4*i+1], lats[4*i+2], lats[4*i+3]
 		rows = append(rows, MPIRow{
 			Nodes: n, NICBacked: nicLat, HostBack: hostLat,
 			Factor: hostLat / nicLat, RawFactor: rawHost / rawNIC,

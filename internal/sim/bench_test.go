@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The engine micro-benchmarks cover the three hot operations of the event
+// loop: schedule+pop churn at a steady heap depth, cancellation (hot in
+// reliable mode, where every ACK cancels a retransmit timer), and a
+// synthetic process barrier that exercises the proc/signal machinery the
+// way the MCP firmware does. BenchmarkBarrierEventsPerSec reports
+// events/sec, the figure BENCH_sim.json tracks across PRs.
+
+// benchSchedulePop churns the heap at a steady depth: every popped event
+// schedules a replacement until b.N replacements have been made, then the
+// heap drains. ns/op is the cost of one schedule+pop pair.
+func benchSchedulePop(b *testing.B, depth int) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	remaining := b.N
+	var fn func()
+	fn = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		s.After(Time(rng.Intn(1000)+1), fn)
+	}
+	for i := 0; i < depth; i++ {
+		s.After(Time(rng.Intn(1000)+1), fn)
+	}
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSchedulePop(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchSchedulePop(b, depth)
+		})
+	}
+}
+
+// benchCancel schedules batches of depth events and cancels them in random
+// order; ns/op is the cost of one Cancel against a heap of that depth.
+func benchCancel(b *testing.B, depth int) {
+	s := New()
+	rng := rand.New(rand.NewSource(2))
+	var ids []EventID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ids) == 0 {
+			b.StopTimer()
+			s.Run() // drain residue so depth stays fixed across batches
+			ids = ids[:0]
+			for j := 0; j < depth; j++ {
+				ids = append(ids, s.After(Time(rng.Intn(1000)+1), func() {}))
+			}
+			rng.Shuffle(len(ids), func(x, y int) { ids[x], ids[y] = ids[y], ids[x] })
+			b.StartTimer()
+		}
+		id := ids[len(ids)-1]
+		ids = ids[:len(ids)-1]
+		if !s.Cancel(id) {
+			b.Fatal("Cancel returned false for pending event")
+		}
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchCancel(b, depth)
+		})
+	}
+}
+
+// BenchmarkBarrierEventsPerSec runs a 16-process counter barrier for b.N
+// rounds: each round every process sleeps a skewed amount, increments a
+// counter, and the last arrival releases the rest — the proc/signal/timer
+// pattern the firmware model uses. Reports engine throughput in events/sec.
+func BenchmarkBarrierEventsPerSec(b *testing.B) {
+	const procs = 16
+	s := New()
+	count := 0
+	sig := s.NewSignal()
+	rounds := b.N
+	for p := 0; p < procs; p++ {
+		p := p
+		s.Spawn(fmt.Sprintf("rank%d", p), func(pr *Proc) {
+			for r := 0; r < rounds; r++ {
+				pr.Sleep(Time(10 + p))
+				count++
+				if count == procs {
+					count = 0
+					sig.Fire()
+				} else {
+					pr.Wait(sig)
+				}
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+	if s.Stranded() != 0 {
+		b.Fatalf("stranded procs: %d", s.Stranded())
+	}
+	b.ReportMetric(float64(s.Executed())/b.Elapsed().Seconds(), "events/sec")
+}

@@ -11,12 +11,16 @@
 //     machines (NIC firmware, DMA engines, switch ports);
 //   - processes (see Proc), goroutines that run in strict lock-step with the
 //     event loop, for modeling host programs written in a blocking style.
+//
+// The event queue is an index-addressed 4-ary min-heap over a value slice:
+// heap entries carry the ordering key (time, sequence) inline so sift
+// comparisons stay within one cache line, while the event bodies live in a
+// free-listed slot pool addressed by index. Each slot records its current
+// heap position, so Cancel is O(log n) with no deferred bookkeeping — hot
+// in reliable mode, where every ACK cancels a retransmit timer.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated instant or duration in nanoseconds.
 type Time int64
@@ -50,69 +54,56 @@ func FromMicros(us float64) Time {
 
 // EventID identifies a scheduled event so it can be cancelled.
 // The zero EventID is never issued.
+//
+// An EventID packs the event's pool-slot index (low 32 bits, offset by one
+// so the zero ID stays invalid) with the slot's generation counter (high 32
+// bits). The generation is bumped every time a slot is recycled, so a stale
+// ID — one whose event already ran or was cancelled — can never alias a
+// newer event that happens to reuse the slot.
 type EventID int64
 
+// event is one heap entry: the ordering key plus the index of the slot
+// holding the callback. Entries are values, so heap sifts move 24 bytes and
+// never touch the allocator.
 type event struct {
-	at    Time
-	seq   int64 // tie-break: FIFO among same-time events
-	id    EventID
-	fn    func()
-	index int // heap index, -1 when popped
+	at   Time
+	seq  int64 // tie-break: FIFO among same-time events
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// slot is a pooled event body. heapIndex tracks the entry's current heap
+// position (-1 while free), which is what makes Cancel O(log n).
+type slot struct {
+	fn        func()
+	heapIndex int32
+	gen       int32
+	next      int32 // free-list link, meaningful only while free
 }
 
 // Simulator is a discrete-event simulator. The zero value is not usable;
 // call New.
 type Simulator struct {
-	now       Time
-	heap      eventHeap
-	seq       int64
-	nextID    EventID
-	cancelled map[EventID]bool
-	executed  int64
-	running   bool
-	procs     int // live (spawned, not finished) processes
-	blocked   int // processes parked on a Signal with no pending wake
+	now      Time
+	heap     []event
+	slots    []slot
+	free     int32 // head of the free-slot list, -1 when empty
+	seq      int64
+	executed int64
+	running  bool
+	procs    int // live (spawned, not finished) processes
+	blocked  int // processes parked on a Signal with no pending wake
 }
 
 // New returns a simulator with the clock at zero and no pending events.
 func New() *Simulator {
-	return &Simulator{cancelled: make(map[EventID]bool)}
+	return &Simulator{free: -1}
 }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of scheduled, not-yet-cancelled events.
-func (s *Simulator) Pending() int { return len(s.heap) - len(s.cancelled) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // Executed returns the total number of events executed so far. Useful for
 // bounding runaway simulations in tests.
@@ -128,10 +119,20 @@ func (s *Simulator) At(t Time, fn func()) EventID {
 		panic("sim: nil event function")
 	}
 	s.seq++
-	s.nextID++
-	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
-	heap.Push(&s.heap, e)
-	return e.id
+	var idx int32
+	if s.free >= 0 {
+		idx = s.free
+		s.free = s.slots[idx].next
+	} else {
+		s.slots = append(s.slots, slot{heapIndex: -1})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.fn = fn
+	sl.heapIndex = int32(len(s.heap))
+	s.heap = append(s.heap, event{at: t, seq: s.seq, slot: idx})
+	s.siftUp(len(s.heap) - 1)
+	return EventID(int64(uint32(sl.gen))<<32 | int64(idx+1))
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -145,38 +146,43 @@ func (s *Simulator) After(d Time, fn func()) EventID {
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // already ran, or was already cancelled, is a no-op and returns false.
 func (s *Simulator) Cancel(id EventID) bool {
-	// Lazy deletion: mark and skip at pop time. The map stays small because
-	// entries are removed when the event surfaces.
-	for _, e := range s.heap {
-		if e.id == id {
-			if s.cancelled[id] {
-				return false
-			}
-			s.cancelled[id] = true
-			return true
-		}
+	idx := int32(id&0xffffffff) - 1
+	if idx < 0 || int(idx) >= len(s.slots) {
+		return false
 	}
-	return false
+	sl := &s.slots[idx]
+	if sl.gen != int32(uint64(id)>>32) || sl.heapIndex < 0 {
+		return false
+	}
+	s.removeAt(int(sl.heapIndex))
+	s.freeSlot(idx)
+	return true
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when no events remain.
 func (s *Simulator) Step() bool {
-	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*event)
-		if s.cancelled[e.id] {
-			delete(s.cancelled, e.id)
-			continue
-		}
-		if e.at < s.now {
-			panic("sim: time went backwards")
-		}
-		s.now = e.at
-		s.executed++
-		e.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	if n > 0 {
+		s.heap[0] = s.heap[n]
+		s.heap = s.heap[:n]
+		s.siftDown(0)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	if top.at < s.now {
+		panic("sim: time went backwards")
+	}
+	fn := s.slots[top.slot].fn
+	s.freeSlot(top.slot)
+	s.now = top.at
+	s.executed++
+	fn()
+	return true
 }
 
 // Run executes events until none remain.
@@ -192,11 +198,7 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(t Time) {
 	s.running = true
 	defer func() { s.running = false }()
-	for {
-		e := s.peek()
-		if e == nil || e.at > t {
-			break
-		}
+	for len(s.heap) > 0 && s.heap[0].at <= t {
 		s.Step()
 	}
 	if t > s.now {
@@ -207,27 +209,13 @@ func (s *Simulator) RunUntil(t Time) {
 // RunFor executes events for d nanoseconds of simulated time from now.
 func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
 
-func (s *Simulator) peek() *event {
-	for len(s.heap) > 0 {
-		e := s.heap[0]
-		if s.cancelled[e.id] {
-			delete(s.cancelled, e.id)
-			heap.Pop(&s.heap)
-			continue
-		}
-		return e
-	}
-	return nil
-}
-
 // NextEventTime returns the timestamp of the earliest pending event and
 // whether one exists.
 func (s *Simulator) NextEventTime() (Time, bool) {
-	e := s.peek()
-	if e == nil {
+	if len(s.heap) == 0 {
 		return 0, false
 	}
-	return e.at, true
+	return s.heap[0].at, true
 }
 
 // Stranded reports the number of processes that are parked waiting for a
@@ -242,3 +230,84 @@ func (s *Simulator) Stranded() int {
 
 // LiveProcs returns the number of spawned processes that have not finished.
 func (s *Simulator) LiveProcs() int { return s.procs }
+
+// freeSlot recycles a slot onto the free list and bumps its generation so
+// outstanding EventIDs for it go stale.
+func (s *Simulator) freeSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.heapIndex = -1
+	sl.gen++
+	sl.next = s.free
+	s.free = idx
+}
+
+// removeAt deletes the heap entry at index i, preserving heap order.
+func (s *Simulator) removeAt(i int) {
+	n := len(s.heap) - 1
+	if i == n {
+		s.heap = s.heap[:n]
+		return
+	}
+	moved := s.heap[n]
+	s.heap[i] = moved
+	s.heap = s.heap[:n]
+	s.slots[moved.slot].heapIndex = int32(i)
+	// The moved entry may need to travel either direction.
+	s.siftDown(i)
+	if int(s.slots[moved.slot].heapIndex) == i {
+		s.siftUp(i)
+	}
+}
+
+// siftUp restores heap order for the entry at index i by moving it toward
+// the root. The 4-ary layout keeps the tree shallow (log4 n levels), and
+// comparisons read the (at, seq) key inline from the entry values.
+func (s *Simulator) siftUp(i int) {
+	e := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := s.heap[parent]
+		if p.at < e.at || (p.at == e.at && p.seq < e.seq) {
+			break
+		}
+		s.heap[i] = p
+		s.slots[p.slot].heapIndex = int32(i)
+		i = parent
+	}
+	s.heap[i] = e
+	s.slots[e.slot].heapIndex = int32(i)
+}
+
+// siftDown restores heap order for the entry at index i by moving it toward
+// the leaves, always descending into the smallest of up to four children.
+func (s *Simulator) siftDown(i int) {
+	e := s.heap[i]
+	n := len(s.heap)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.heap[c].at < s.heap[best].at ||
+				(s.heap[c].at == s.heap[best].at && s.heap[c].seq < s.heap[best].seq) {
+				best = c
+			}
+		}
+		b := s.heap[best]
+		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
+			break
+		}
+		s.heap[i] = b
+		s.slots[b.slot].heapIndex = int32(i)
+		i = best
+	}
+	s.heap[i] = e
+	s.slots[e.slot].heapIndex = int32(i)
+}
