@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench figures examples clean
+.PHONY: all build test vet race fuzz bench figures examples clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing pass over the wire codec and the duplicate-suppression
+# window (go's fuzzer allows one target per invocation). Checked-in seed
+# corpora live in internal/mcp/testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=^FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/mcp
+	$(GO) test -run=^$$ -fuzz=^FuzzSeqWindow$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 
 # Regenerate every table/figure of the paper's evaluation plus extensions.
 figures:

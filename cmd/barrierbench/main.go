@@ -5,11 +5,18 @@
 // Usage:
 //
 //	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N] [-parallel W]
+//	barrierbench -fig rel [-loss 0,0.5,1,2,5] [-faultplan none|flap|corrupt|chaos] [-nodes N] [-dim D]
+//	barrierbench -fig flap [-nodes N] [-dim D] [-outage US]
 //
 // GB rows report the minimum latency over all tree dimensions 1..N-1 and
 // the dimension that achieved it, matching the paper's methodology.
 // Independent measurements fan out over -parallel workers (default
 // GOMAXPROCS); results are bit-identical at any worker count.
+//
+// The reliability figures go beyond the paper's zero-loss benchmarks: -fig
+// rel sweeps packet loss over the reliable Section-4.4 barriers against
+// the host baseline (optionally on top of a named base fault plan), and
+// -fig flap measures recovery latency after a mid-barrier link outage.
 package main
 
 import (
@@ -17,17 +24,28 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
+	"gmsim/internal/fault"
+	"gmsim/internal/network"
 	"gmsim/internal/runner"
+	"gmsim/internal/sim"
 	"gmsim/internal/stats"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, all")
+	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, all")
 	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
+	loss := flag.String("loss", "0,0.5,1,2,5", "comma-separated per-hop loss percentages for -fig rel")
+	faultplan := flag.String("faultplan", "none", "base fault plan for -fig rel: none, flap, corrupt, chaos")
+	nodes := flag.Int("nodes", 16, "cluster size for -fig rel and -fig flap")
+	dim := flag.Int("dim", 2, "GB tree dimension for -fig rel and -fig flap")
+	outage := flag.Float64("outage", 200, "link outage duration in microseconds for -fig flap")
+	seed := flag.Int64("seed", 42, "fault plan seed for -fig rel and -fig flap")
 	flag.Parse()
 	runner.SetDefault(*parallel)
 
@@ -50,6 +68,20 @@ func main() {
 		printGranularity(*iters)
 	case "mpibar":
 		printMPIBarrier(*iters)
+	case "rel":
+		pcts, err := parseLossList(*loss)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -loss: %v\n", err)
+			os.Exit(2)
+		}
+		base, err := basePlan(*faultplan, *seed, *nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		printReliability(*nodes, pcts, *dim, *iters, *faultplan, base)
+	case "flap":
+		printFlap(*nodes, *dim, sim.FromMicros(*outage), *seed)
 	case "all":
 		rows43 := experiments.Figure5a(*iters)
 		rows72 := experiments.Figure5c(*iters)
@@ -139,6 +171,100 @@ func printMPIBarrier(iters int) {
 	for _, r := range rows {
 		t.AddRow(r.Nodes, r.NICBacked, r.HostBack, r.Factor, r.RawFactor)
 	}
+	fmt.Print(t.String())
+}
+
+// parseLossList parses the -loss flag: comma-separated percentages.
+func parseLossList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 100 {
+			return nil, fmt.Errorf("loss %v%% out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty loss list")
+	}
+	return out, nil
+}
+
+// basePlan builds the named base fault plan every -fig rel point inherits.
+// Loss percentages from -loss are layered on top of it per point.
+func basePlan(name string, seed int64, nodes int) (*fault.Plan, error) {
+	last := network.NodeID(nodes - 1)
+	switch name {
+	case "none", "":
+		return nil, nil
+	case "flap":
+		// One 300µs outage of the last node's cable, early in the run.
+		return &fault.Plan{Seed: seed, Flaps: []fault.Flap{{
+			Links:  fault.NodeLinks(last),
+			DownAt: sim.FromMicros(500),
+			UpAt:   sim.FromMicros(800),
+		}}}, nil
+	case "corrupt":
+		// Bit errors and truncation on every link, 0.5% each.
+		return &fault.Plan{Seed: seed, Corrupt: []fault.CorruptRule{
+			{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005},
+			{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005, Truncate: true},
+		}}, nil
+	case "chaos":
+		// Everything at once: corruption, duplicates, a flap, a NIC stall.
+		return &fault.Plan{
+			Seed: seed,
+			Corrupt: []fault.CorruptRule{
+				{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005},
+				{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005, Truncate: true},
+			},
+			Duplicate: []fault.DupRule{{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005}},
+			Flaps: []fault.Flap{{
+				Links:  fault.NodeLinks(last),
+				DownAt: sim.FromMicros(500),
+				UpAt:   sim.FromMicros(800),
+			}},
+			Stalls: []fault.Stall{{Node: 0, At: sim.FromMicros(1500), For: sim.FromMicros(100)}},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -faultplan %q (none, flap, corrupt, chaos)", name)
+	}
+}
+
+func printReliability(nodes int, pcts []float64, dim, iters int, planName string, base *fault.Plan) {
+	pts := experiments.ReliabilitySweep(nodes, pcts, dim, iters, base)
+	title := fmt.Sprintf("Reliable barriers under packet loss: %d nodes, LANai 4.3, GB dim %d, base plan %q (us; retrans = frames re-sent per run)",
+		nodes, dim, planName)
+	t := stats.NewTable(title,
+		"Loss %", "Rel NIC-PE", "Rel NIC-GB", "Host-PE", "Unrel NIC-PE",
+		"PE retrans", "GB retrans", "Host retrans")
+	for _, p := range pts {
+		unrel := any("-")
+		if p.LossPct == 0 && p.UnrelPE != 0 {
+			unrel = p.UnrelPE
+		}
+		t.AddRow(p.LossPct, p.RelPE, p.RelGB, p.HostPE, unrel,
+			p.RelPERetrans, p.RelGBRetrans, p.HostPERetrans)
+	}
+	fmt.Print(t.String())
+}
+
+func printFlap(nodes, dim int, outage sim.Time, seed int64) {
+	r := experiments.FlapRecovery(nodes, dim, outage, seed)
+	t := stats.NewTable(fmt.Sprintf("Recovery after a mid-barrier link flap: %d nodes, reliable GB dim %d", nodes, dim),
+		"Metric", "Value")
+	t.AddRow("outage (us)", r.OutageMicros)
+	t.AddRow("baseline barrier (us)", r.BaselineMicros)
+	t.AddRow("faulted barrier (us)", r.FaultedMicros)
+	t.AddRow("recovery cost (us)", r.RecoveryMicros)
+	t.AddRow("repair retransmissions", r.Retrans)
 	fmt.Print(t.String())
 }
 

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 
+	"gmsim/internal/fault"
 	"gmsim/internal/host"
 	"gmsim/internal/lanai"
 	"gmsim/internal/mcp"
@@ -36,6 +37,11 @@ type Config struct {
 	ReliableBarrier       bool
 	ClearUnexpectedOnOpen bool
 	LoopbackFlag          bool
+	// Fault optionally attaches a fault-injection plan (see internal/fault).
+	// The plan is pure data and may be shared across clusters; each cluster
+	// derives its own random streams from it. A nil or empty plan changes
+	// nothing about the simulation.
+	Fault *fault.Plan
 }
 
 // DefaultConfig returns the paper's LANai 4.3 testbed scaled to n nodes:
@@ -66,6 +72,7 @@ type Cluster struct {
 	nics   []*lanai.NIC
 	mcps   []*mcp.MCP
 	procs  []*host.Process
+	inj    *fault.Injector
 }
 
 // New builds a cluster from the configuration.
@@ -120,6 +127,13 @@ func New(cfg Config) *Cluster {
 		c.nics = append(c.nics, nic)
 		c.mcps = append(c.mcps, m)
 	}
+	if cfg.Fault != nil {
+		byNode := make(map[network.NodeID]*lanai.NIC, len(c.nics))
+		for i, nic := range c.nics {
+			byNode[network.NodeID(i)] = nic
+		}
+		c.inj = fault.Attach(cfg.Fault, f, byNode)
+	}
 	return c
 }
 
@@ -140,6 +154,10 @@ func (c *Cluster) MCP(i int) *mcp.MCP { return c.mcps[i] }
 
 // NIC returns node i's card.
 func (c *Cluster) NIC(i int) *lanai.NIC { return c.nics[i] }
+
+// Fault returns the attached fault injector, or nil when the configuration
+// carried no plan.
+func (c *Cluster) Fault() *fault.Injector { return c.inj }
 
 // Spawn starts an application process on node i with the given rank.
 // The body runs in simulated time; use the returned process's methods and

@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"gmsim/internal/cluster"
+	"gmsim/internal/fault"
 	"gmsim/internal/mcp"
 	"gmsim/internal/runner"
+	"gmsim/internal/sim"
 )
 
 // The worker pool's contract is that parallel execution changes nothing:
@@ -86,6 +88,30 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}},
 		{"MPIBarrierComparison", func() any {
 			return MPIBarrierComparison(sizes, detIters)
+		}},
+		{"ReliabilitySweep", func() any {
+			// A nontrivial base plan: loss rides on top of corruption,
+			// duplication, a link flap and a NIC stall. Every point's
+			// cluster derives its own per-link streams from the shared
+			// plan, so parallel workers must reproduce the serial bits.
+			base := &fault.Plan{
+				Seed: 1234,
+				Corrupt: []fault.CorruptRule{
+					{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.004},
+					{Links: fault.NodeLinks(1), Window: fault.Always, Rate: 0.01, Truncate: true},
+				},
+				Duplicate: []fault.DupRule{{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005}},
+				Flaps: []fault.Flap{{
+					Links:  fault.NodeLinks(2),
+					DownAt: sim.FromMicros(400),
+					UpAt:   sim.FromMicros(600),
+				}},
+				Stalls: []fault.Stall{{Node: 3, At: sim.FromMicros(900), For: sim.FromMicros(80)}},
+			}
+			return ReliabilitySweep(4, []float64{0, 1, 2}, 2, detIters, base)
+		}},
+		{"FlapRecovery", func() any {
+			return FlapRecovery(4, 2, sim.FromMicros(150), 99)
 		}},
 	}
 	for _, tc := range cases {

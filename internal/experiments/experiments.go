@@ -66,6 +66,14 @@ type Result struct {
 	// Barriers counts completions observed NIC-side across the cluster
 	// (sanity: Nodes × (Warmup+Iters) for NIC-level runs).
 	Barriers int64
+	// Retrans counts frames re-sent across the cluster (go-back-N data
+	// retransmissions plus reliable-barrier resends) — the recovery work
+	// the fault plan forced.
+	Retrans int64
+	// Start and End bound the timed iterations at rank 0, in absolute
+	// simulated time. The reliability experiments use them to aim fault
+	// windows at the middle of a measured barrier.
+	Start, End sim.Time
 }
 
 // MeasureBarrier runs the measurement described by spec.
@@ -116,14 +124,19 @@ func MeasureBarrier(spec Spec) Result {
 	})
 	cl.Run()
 
-	var barriers int64
+	var barriers, retrans int64
 	for i := 0; i < n; i++ {
-		barriers += cl.MCP(i).Stats().BarrierCompleted
+		st := cl.MCP(i).Stats()
+		barriers += st.BarrierCompleted
+		retrans += st.Retransmissions + st.BarrierResends
 	}
 	return Result{
 		Spec:       spec,
 		MeanMicros: (t1 - t0).Micros() / float64(spec.Iters),
 		Barriers:   barriers,
+		Retrans:    retrans,
+		Start:      t0,
+		End:        t1,
 	}
 }
 

@@ -1,0 +1,468 @@
+// Package fault is a deterministic, DES-scheduled fault-injection
+// subsystem for the simulated cluster. A declarative Plan names what goes
+// wrong and when — timed link flaps, per-link and per-window packet loss,
+// corruption and truncation on the wire, duplicate delivery, and NIC
+// firmware stalls and slowdowns — and Attach compiles it onto a fabric:
+// state changes become simulator events, and stochastic rules draw from
+// independent per-link streams derived from (plan seed, link ID), so the
+// drop pattern seen by one flow never depends on what other links carry.
+//
+// The paper treats reliability as a sketch (Section 4.4 proposes a
+// separate barrier acknowledgment mechanism but benchmarks without it);
+// this package supplies the missing adversary: every fault class the
+// hardened firmware in internal/mcp must survive, reachable from
+// experiments and the CLI rather than only from unit-test loss hooks.
+// An attached empty Plan costs nothing: no hook work beyond a nil rule
+// scan per hop, no extra events, and bit-identical experiment output.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// Direction restricts a Selector to one direction of a NIC's cable.
+type Direction int
+
+const (
+	// Both selects the NIC's transmit and receive channels (default).
+	Both Direction = iota
+	// TxOnly selects only the NIC -> switch channel.
+	TxOnly
+	// RxOnly selects only the switch -> NIC channel.
+	RxOnly
+)
+
+// Selector names the links a rule applies to.
+type Selector struct {
+	// All selects every directed channel in the fabric, including
+	// switch-to-switch trunks. When set, Node and Dir are ignored.
+	All bool
+	// Node selects the cable of one NIC.
+	Node network.NodeID
+	// Dir optionally narrows Node's cable to one direction.
+	Dir Direction
+}
+
+// AllLinks selects every link in the fabric.
+func AllLinks() Selector { return Selector{All: true} }
+
+// NodeLinks selects both directions of one NIC's cable.
+func NodeLinks(n network.NodeID) Selector { return Selector{Node: n} }
+
+func (s Selector) String() string {
+	if s.All {
+		return "all-links"
+	}
+	switch s.Dir {
+	case TxOnly:
+		return fmt.Sprintf("node%d-tx", s.Node)
+	case RxOnly:
+		return fmt.Sprintf("node%d-rx", s.Node)
+	}
+	return fmt.Sprintf("node%d", s.Node)
+}
+
+// Window is a half-open simulated-time interval [From, To). To == 0 means
+// open-ended (the rule never expires).
+type Window struct {
+	From, To sim.Time
+}
+
+// Always is the open-ended window starting at t=0.
+var Always = Window{}
+
+func (w Window) contains(t sim.Time) bool {
+	return t >= w.From && (w.To == 0 || t < w.To)
+}
+
+// LossRule drops packets on the selected links with the given probability
+// while the window is open.
+type LossRule struct {
+	Links  Selector
+	Window Window
+	Rate   float64
+}
+
+// CorruptRule damages packets on the selected links with the given
+// probability: bit errors that fail the receiver's CRC check. When the
+// payload can serialize itself (network.WireEncoder), the packet carries
+// mangled bytes so the firmware exercises its real decode path. Truncate
+// instead cuts the packet's tail (the wire size shrinks), which also fails
+// the CRC but leaves the header readable — the receiver can nack.
+type CorruptRule struct {
+	Links    Selector
+	Window   Window
+	Rate     float64
+	Truncate bool
+}
+
+// DupRule delivers a second copy of packets on the selected links with the
+// given probability (e.g. a retransmitting switch port).
+type DupRule struct {
+	Links  Selector
+	Window Window
+	Rate   float64
+}
+
+// Flap takes the selected links down at DownAt and back up at UpAt.
+// While down, every packet on those links is dropped.
+type Flap struct {
+	Links        Selector
+	DownAt, UpAt sim.Time
+}
+
+// Stall freezes one node's NIC firmware processor for For starting at At.
+type Stall struct {
+	Node network.NodeID
+	At   sim.Time
+	For  sim.Time
+}
+
+// Slowdown multiplies one node's NIC firmware task durations by Factor
+// while the window is open (a throttled or degraded card).
+type Slowdown struct {
+	Node   network.NodeID
+	Window Window
+	Factor float64
+}
+
+// Plan is a declarative fault schedule. The zero Plan injects nothing.
+// Plans are pure data: the same Plan value may be attached to any number
+// of independent clusters (the parallel experiment runner does exactly
+// that), each attachment getting its own derived random streams.
+type Plan struct {
+	// Seed roots every stochastic rule's per-link stream.
+	Seed      int64
+	Loss      []LossRule
+	Corrupt   []CorruptRule
+	Duplicate []DupRule
+	Flaps     []Flap
+	Stalls    []Stall
+	Slowdowns []Slowdown
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Loss) == 0 && len(p.Corrupt) == 0 &&
+		len(p.Duplicate) == 0 && len(p.Flaps) == 0 &&
+		len(p.Stalls) == 0 && len(p.Slowdowns) == 0)
+}
+
+// Clone returns a deep copy of the plan, so callers can extend a base
+// scenario per experiment point without aliasing rule slices.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return &Plan{}
+	}
+	q := &Plan{Seed: p.Seed}
+	q.Loss = append([]LossRule(nil), p.Loss...)
+	q.Corrupt = append([]CorruptRule(nil), p.Corrupt...)
+	q.Duplicate = append([]DupRule(nil), p.Duplicate...)
+	q.Flaps = append([]Flap(nil), p.Flaps...)
+	q.Stalls = append([]Stall(nil), p.Stalls...)
+	q.Slowdowns = append([]Slowdown(nil), p.Slowdowns...)
+	return q
+}
+
+// Counters tallies what the injector actually did.
+type Counters struct {
+	Lost       int64 // packets dropped by loss rules
+	LinkDowns  int64 // packets dropped on a flapped (down) link
+	Corrupted  int64 // packets damaged (bit errors)
+	Truncated  int64 // packets damaged (tail cut)
+	Duplicated int64 // extra copies delivered
+	Flaps      int64 // links taken down
+	Stalls     int64 // firmware stalls injected
+}
+
+// lossEntry etc. are rules compiled against one concrete link.
+type lossEntry struct {
+	win  Window
+	rate float64
+}
+type corruptEntry struct {
+	win      Window
+	rate     float64
+	truncate bool
+}
+type dupEntry struct {
+	win  Window
+	rate float64
+}
+
+// linkRules is everything the injector must consult on one link's hops.
+type linkRules struct {
+	loss    []lossEntry
+	corrupt []corruptEntry
+	dup     []dupEntry
+}
+
+// Injector is a Plan attached to one fabric. It implements
+// network.FaultHook; per-link random streams and link state live here, so
+// concurrent clusters attached to the same Plan share nothing.
+type Injector struct {
+	sim  *sim.Simulator
+	fab  *network.Fabric
+	seed int64
+
+	rules   map[network.LinkID]*linkRules
+	streams map[network.LinkID]*rand.Rand
+	down    map[network.LinkID]int // >0 => link down (nested flaps count)
+
+	counters Counters
+}
+
+// Attach compiles the plan onto a fabric: flap, stall and slowdown rules
+// become scheduled simulator events; stochastic rules are indexed per
+// link; and the injector installs itself as the fabric's fault hook.
+// nics maps node IDs to their cards, for the firmware fault classes; it
+// may be nil when the plan contains no stalls or slowdowns. Attach must
+// run after all NICs are cabled (it resolves selectors to link IDs) and
+// before the simulation starts (it schedules at absolute plan times).
+func Attach(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) *Injector {
+	inj := &Injector{
+		sim:     fab.Sim(),
+		fab:     fab,
+		rules:   make(map[network.LinkID]*linkRules),
+		streams: make(map[network.LinkID]*rand.Rand),
+		down:    make(map[network.LinkID]int),
+	}
+	if p == nil {
+		p = &Plan{}
+	}
+	inj.seed = p.Seed
+
+	for _, r := range p.Loss {
+		if r.Rate <= 0 {
+			continue
+		}
+		for _, l := range inj.resolve(r.Links) {
+			lr := inj.linkRules(l)
+			lr.loss = append(lr.loss, lossEntry{r.Window, r.Rate})
+		}
+	}
+	for _, r := range p.Corrupt {
+		if r.Rate <= 0 {
+			continue
+		}
+		for _, l := range inj.resolve(r.Links) {
+			lr := inj.linkRules(l)
+			lr.corrupt = append(lr.corrupt, corruptEntry{r.Window, r.Rate, r.Truncate})
+		}
+	}
+	for _, r := range p.Duplicate {
+		if r.Rate <= 0 {
+			continue
+		}
+		for _, l := range inj.resolve(r.Links) {
+			lr := inj.linkRules(l)
+			lr.dup = append(lr.dup, dupEntry{r.Window, r.Rate})
+		}
+	}
+	for _, fl := range p.Flaps {
+		fl := fl
+		links := inj.resolve(fl.Links)
+		inj.sim.At(fl.DownAt, func() {
+			for _, l := range links {
+				inj.down[l]++
+			}
+			inj.counters.Flaps++
+			fab.NoteFault("link-down", nil, fl.Links.String())
+		})
+		if fl.UpAt > fl.DownAt {
+			inj.sim.At(fl.UpAt, func() {
+				for _, l := range links {
+					if inj.down[l] > 0 {
+						inj.down[l]--
+					}
+				}
+				fab.NoteFault("link-up", nil, fl.Links.String())
+			})
+		}
+	}
+	for _, st := range p.Stalls {
+		st := st
+		nic := nics[st.Node]
+		if nic == nil {
+			panic(fmt.Sprintf("fault: stall names node %d with no NIC", st.Node))
+		}
+		inj.sim.At(st.At, func() {
+			nic.Stall(st.For)
+			inj.counters.Stalls++
+			fab.NoteFault("nic-stall", nil,
+				fmt.Sprintf("node%d for %v", st.Node, st.For))
+		})
+	}
+	for _, sl := range p.Slowdowns {
+		sl := sl
+		nic := nics[sl.Node]
+		if nic == nil {
+			panic(fmt.Sprintf("fault: slowdown names node %d with no NIC", sl.Node))
+		}
+		inj.sim.At(sl.Window.From, func() {
+			nic.SetSlowdown(sl.Factor)
+			fab.NoteFault("nic-slowdown", nil,
+				fmt.Sprintf("node%d x%.2f", sl.Node, sl.Factor))
+		})
+		if sl.Window.To > sl.Window.From {
+			inj.sim.At(sl.Window.To, func() {
+				nic.SetSlowdown(1)
+				fab.NoteFault("nic-slowdown", nil, fmt.Sprintf("node%d x1", sl.Node))
+			})
+		}
+	}
+
+	fab.SetFaultHook(inj)
+	return inj
+}
+
+// resolve maps a selector to concrete link IDs.
+func (inj *Injector) resolve(s Selector) []network.LinkID {
+	if s.All {
+		out := make([]network.LinkID, inj.fab.NumLinks())
+		for i := range out {
+			out[i] = network.LinkID(i)
+		}
+		return out
+	}
+	nl, ok := inj.fab.NICLinkIDs(s.Node)
+	if !ok {
+		panic(fmt.Sprintf("fault: selector names node %d with no NIC", s.Node))
+	}
+	switch s.Dir {
+	case TxOnly:
+		return []network.LinkID{nl.Tx}
+	case RxOnly:
+		return []network.LinkID{nl.Rx}
+	}
+	return []network.LinkID{nl.Tx, nl.Rx}
+}
+
+func (inj *Injector) linkRules(l network.LinkID) *linkRules {
+	lr, ok := inj.rules[l]
+	if !ok {
+		lr = &linkRules{}
+		inj.rules[l] = lr
+	}
+	return lr
+}
+
+// stream returns the link's private random stream, derived from
+// (plan seed, link ID). Only hops over this link consume it, which is what
+// keeps one flow's fault pattern independent of traffic elsewhere.
+func (inj *Injector) stream(l network.LinkID) *rand.Rand {
+	rng, ok := inj.streams[l]
+	if !ok {
+		rng = network.LinkStream(inj.seed, l)
+		inj.streams[l] = rng
+	}
+	return rng
+}
+
+// Counters returns what the injector has done so far.
+func (inj *Injector) Counters() Counters { return inj.counters }
+
+// LinkDown reports whether any flap currently holds the link down.
+func (inj *Injector) LinkDown(l network.LinkID) bool { return inj.down[l] > 0 }
+
+// OnHop implements network.FaultHook: rule on one packet completing one
+// channel hop. Stochastic rules consume the link's stream only while their
+// window is open, so the decision sequence is a pure function of
+// (seed, link, hop index within windows) — independent of other links.
+func (inj *Injector) OnHop(link network.LinkID, p *network.Packet) network.Verdict {
+	if inj.down[link] > 0 {
+		inj.counters.LinkDowns++
+		return network.Verdict{Drop: true, Reason: "link-down"}
+	}
+	lr := inj.rules[link]
+	if lr == nil {
+		return network.Verdict{}
+	}
+	now := inj.sim.Now()
+	var v network.Verdict
+	for _, e := range lr.loss {
+		if e.win.contains(now) && inj.stream(link).Float64() < e.rate {
+			inj.counters.Lost++
+			return network.Verdict{Drop: true, Reason: "fault-loss"}
+		}
+	}
+	for _, e := range lr.corrupt {
+		if !e.win.contains(now) || inj.stream(link).Float64() >= e.rate {
+			continue
+		}
+		if e.truncate {
+			inj.truncate(link, p)
+		} else {
+			inj.corrupt(link, p)
+		}
+	}
+	for _, e := range lr.dup {
+		if e.win.contains(now) && inj.stream(link).Float64() < e.rate {
+			inj.counters.Duplicated++
+			inj.fab.NoteFault("duplicate", p, "")
+			v.Duplicate = true
+		}
+	}
+	return v
+}
+
+// corrupt injects bit errors. When the payload can serialize itself the
+// packet is replaced by a mangled byte image and the Corrupt flag is left
+// clear: the receiving firmware runs its real decode + CRC path against
+// the damage and discovers the failure itself. Payloads that cannot
+// serialize get the Corrupt flag, which the receiver's CRC check reads.
+func (inj *Injector) corrupt(link network.LinkID, p *network.Packet) {
+	if p.Corrupt {
+		return // already damaged on an earlier hop
+	}
+	inj.counters.Corrupted++
+	var img []byte
+	switch pl := p.Payload.(type) {
+	case []byte:
+		// Already a byte image (possibly mangled on an earlier hop):
+		// damage it further in place.
+		img = pl
+	case network.WireEncoder:
+		img = pl.EncodeWire()
+	}
+	if len(img) > 0 {
+		rng := inj.stream(link)
+		// Flip 1-3 bits at seeded positions. CRC32 detects all few-bit
+		// errors at these frame sizes, so the receiver's decode is
+		// guaranteed to reject the image.
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			pos := rng.Intn(len(img) * 8)
+			img[pos/8] ^= 1 << (pos % 8)
+		}
+		p.Payload = img
+		inj.fab.NoteFault("corrupt", p, "")
+		return
+	}
+	p.Corrupt = true
+	inj.fab.NoteFault("corrupt", p, "")
+}
+
+// truncate cuts the packet's tail: the wire size shrinks and the CRC
+// fails, but the in-memory header stays readable (models a header-CRC-
+// protected frame whose payload CRC fails).
+func (inj *Injector) truncate(link network.LinkID, p *network.Packet) {
+	if p.Corrupt {
+		return
+	}
+	rng := inj.stream(link)
+	cut := 1 + rng.Intn(p.Size)
+	if cut >= p.Size {
+		cut = p.Size - 1
+	}
+	if cut > 0 {
+		p.Size -= cut
+	}
+	p.Corrupt = true
+	inj.counters.Truncated++
+	inj.fab.NoteFault("truncate", p, fmt.Sprintf("-%dB", cut))
+}

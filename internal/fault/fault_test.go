@@ -1,0 +1,330 @@
+package fault
+
+import (
+	"testing"
+
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// testFabric builds a 2-node fabric and returns it with both ifaces'
+// delivery counts wired up.
+func testFabric(t *testing.T) (*sim.Simulator, *network.Fabric, []*network.Iface, []*int) {
+	t.Helper()
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(2))
+	lp := network.DefaultLinkParams()
+	ifaces := make([]*network.Iface, 2)
+	counts := make([]*int, 2)
+	for i := 0; i < 2; i++ {
+		n := new(int)
+		counts[i] = n
+		ifaces[i] = f.AttachNIC(network.NodeID(i), sw, i, lp, func(p *network.Packet) { *n++ })
+	}
+	return s, f, ifaces, counts
+}
+
+func sendOne(f *network.Fabric, iface *network.Iface, src, dst network.NodeID) {
+	r, err := f.Route(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	iface.Transmit(&network.Packet{Route: r, Src: src, Dst: dst, Size: 64})
+}
+
+// TestFlapDropsDuringOutage: packets sent while the link is down vanish;
+// packets before and after pass.
+func TestFlapDropsDuringOutage(t *testing.T) {
+	s, f, ifaces, counts := testFabric(t)
+	plan := &Plan{Flaps: []Flap{{
+		Links:  NodeLinks(1),
+		DownAt: sim.FromMicros(10),
+		UpAt:   sim.FromMicros(20),
+	}}}
+	inj := Attach(plan, f, nil)
+
+	for _, at := range []float64{1, 12, 15, 25} {
+		at := at
+		s.At(sim.FromMicros(at), func() { sendOne(f, ifaces[0], 0, 1) })
+	}
+	s.Run()
+	if *counts[1] != 2 {
+		t.Fatalf("delivered %d packets, want 2 (outage should eat the two mid-window sends)", *counts[1])
+	}
+	c := inj.Counters()
+	if c.LinkDowns != 2 || c.Flaps != 1 {
+		t.Fatalf("counters = %+v, want LinkDowns=2 Flaps=1", c)
+	}
+}
+
+// TestLossRuleWindow: a loss rule with Rate 1 eats everything inside its
+// window and nothing outside.
+func TestLossRuleWindow(t *testing.T) {
+	s, f, ifaces, counts := testFabric(t)
+	plan := &Plan{Loss: []LossRule{{
+		Links:  AllLinks(),
+		Window: Window{From: sim.FromMicros(10), To: sim.FromMicros(20)},
+		Rate:   1,
+	}}}
+	inj := Attach(plan, f, nil)
+	for _, at := range []float64{1, 12, 25} {
+		at := at
+		s.At(sim.FromMicros(at), func() { sendOne(f, ifaces[0], 0, 1) })
+	}
+	s.Run()
+	if *counts[1] != 2 {
+		t.Fatalf("delivered %d, want 2", *counts[1])
+	}
+	if inj.Counters().Lost != 1 {
+		t.Fatalf("Lost = %d, want 1", inj.Counters().Lost)
+	}
+}
+
+// wirePayload is a WireEncoder payload for corruption tests.
+type wirePayload struct{ b []byte }
+
+func (w wirePayload) EncodeWire() []byte { return append([]byte(nil), w.b...) }
+
+// TestCorruptedImageDiffers: the delivered byte image differs from the
+// original in at least one bit, and the Corrupt flag stays clear (the
+// receiver must find the damage itself).
+func TestCorruptedImageDiffers(t *testing.T) {
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(2))
+	lp := network.DefaultLinkParams()
+	var got *network.Packet
+	if0 := f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+	f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) { got = p })
+	Attach(&Plan{Corrupt: []CorruptRule{{Links: AllLinks(), Window: Always, Rate: 1}}}, f, nil)
+
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	s.At(0, func() {
+		r, _ := f.Route(0, 1)
+		if0.Transmit(&network.Packet{Route: r, Src: 0, Dst: 1, Size: 64, Payload: wirePayload{b: orig}})
+	})
+	s.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	img, ok := got.Payload.([]byte)
+	if !ok {
+		t.Fatalf("payload is %T, want mangled []byte", got.Payload)
+	}
+	same := len(img) == len(orig)
+	if same {
+		for i := range img {
+			if img[i] != orig[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("corrupted image identical to original")
+	}
+	if got.Corrupt {
+		t.Fatal("Corrupt flag set on an encodable payload: receiver decode path bypassed")
+	}
+}
+
+// TestTruncateShrinksAndFlags: truncation cuts the size and sets Corrupt,
+// leaving the payload structure readable.
+func TestTruncateShrinksAndFlags(t *testing.T) {
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(2))
+	lp := network.DefaultLinkParams()
+	var got *network.Packet
+	if0 := f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+	f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) { got = p })
+	inj := Attach(&Plan{Corrupt: []CorruptRule{{Links: AllLinks(), Window: Always, Rate: 1, Truncate: true}}}, f, nil)
+
+	s.At(0, func() {
+		r, _ := f.Route(0, 1)
+		if0.Transmit(&network.Packet{Route: r, Src: 0, Dst: 1, Size: 64, Payload: "hdr"})
+	})
+	s.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if !got.Corrupt {
+		t.Fatal("truncated packet not flagged Corrupt")
+	}
+	if got.Size >= 64 {
+		t.Fatalf("size %d not shrunk", got.Size)
+	}
+	if got.Payload != "hdr" {
+		t.Fatal("truncation must leave the in-memory header readable")
+	}
+	if inj.Counters().Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", inj.Counters().Truncated)
+	}
+}
+
+// TestDuplicateDelivers: a dup rule at rate 1 delivers two copies.
+func TestDuplicateDelivers(t *testing.T) {
+	s, f, ifaces, counts := testFabric(t)
+	inj := Attach(&Plan{Duplicate: []DupRule{{Links: NodeLinks(1), Window: Always, Rate: 1}}}, f, nil)
+	s.At(0, func() { sendOne(f, ifaces[0], 0, 1) })
+	s.Run()
+	// The cable has two directed channels; only the Rx direction carries
+	// this packet, and each hop with rate 1 duplicates once.
+	if *counts[1] < 2 {
+		t.Fatalf("delivered %d, want >= 2", *counts[1])
+	}
+	if inj.Counters().Duplicated == 0 {
+		t.Fatal("no duplications counted")
+	}
+}
+
+// TestStallFreezesNIC: an injected stall pushes the NIC's next task out by
+// the stall duration.
+func TestStallFreezesNIC(t *testing.T) {
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(2))
+	lp := network.DefaultLinkParams()
+	f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+	f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) {})
+	nic := lanai.NewNIC(s, lanai.LANai43())
+	plan := &Plan{Stalls: []Stall{{Node: 0, At: sim.FromMicros(5), For: sim.FromMicros(100)}}}
+	Attach(plan, f, map[network.NodeID]*lanai.NIC{0: nic, 1: lanai.NewNIC(s, lanai.LANai43())})
+
+	var ran sim.Time
+	s.At(sim.FromMicros(10), func() {
+		nic.Exec(33, func() { ran = s.Now() }) // 33 cycles = 1 µs on a 4.3
+	})
+	s.Run()
+	if ran < sim.FromMicros(105) {
+		t.Fatalf("task ran at %v, want >= 105µs (stall not honored)", ran)
+	}
+	if nic.Stalls() != 1 || nic.StallTime() != sim.FromMicros(100) {
+		t.Fatalf("stall counters: %d/%v", nic.Stalls(), nic.StallTime())
+	}
+}
+
+// TestSlowdownWindow: inside the window tasks take Factor times longer;
+// after it, nominal speed returns.
+func TestSlowdownWindow(t *testing.T) {
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(2))
+	lp := network.DefaultLinkParams()
+	f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+	f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) {})
+	nic := lanai.NewNIC(s, lanai.LANai43())
+	plan := &Plan{Slowdowns: []Slowdown{{
+		Node:   0,
+		Window: Window{From: sim.FromMicros(10), To: sim.FromMicros(20)},
+		Factor: 4,
+	}}}
+	Attach(plan, f, map[network.NodeID]*lanai.NIC{0: nic, 1: lanai.NewNIC(s, lanai.LANai43())})
+
+	var inWin, afterWin sim.Time
+	s.At(sim.FromMicros(12), func() {
+		start := s.Now()
+		nic.Exec(33, func() { inWin = s.Now() - start })
+	})
+	s.At(sim.FromMicros(50), func() {
+		start := s.Now()
+		nic.Exec(33, func() { afterWin = s.Now() - start })
+	})
+	s.Run()
+	if inWin < 3*afterWin {
+		t.Fatalf("slowdown had no effect: in-window %v vs after %v", inWin, afterWin)
+	}
+}
+
+// TestPerLinkStreamsIndependent: the fault decisions on one link are a
+// pure function of (seed, link, hops over that link) — injecting traffic
+// on another link must not change them.
+func TestPerLinkStreamsIndependent(t *testing.T) {
+	runTx := func(crossTraffic bool) int {
+		s := sim.New()
+		f := network.New(s)
+		sw := f.AddSwitch(network.DefaultSwitchParams(3))
+		lp := network.DefaultLinkParams()
+		got := 0
+		if0 := f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+		f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) { got++ })
+		if2 := f.AttachNIC(2, sw, 2, lp, func(p *network.Packet) {})
+		// Loss only on node 0's transmit channel: flow C never touches it.
+		Attach(&Plan{Seed: 7, Loss: []LossRule{{
+			Links: Selector{Node: 0, Dir: TxOnly}, Window: Always, Rate: 0.4,
+		}}}, f, nil)
+		for i := 0; i < 60; i++ {
+			i := i
+			s.At(sim.FromMicros(float64(10*i)), func() {
+				sendOne(f, if0, 0, 1)
+				if crossTraffic && i%2 == 0 {
+					sendOne(f, if2, 2, 1)
+				}
+			})
+		}
+		s.Run()
+		return got
+	}
+	alone := runTx(false)
+	shared := runTx(true)
+	// Flow C adds 30 packets, none subject to loss; flow A's survivors are
+	// decided by node 0's Tx stream alone, so exactly 30 extra arrive.
+	if shared != alone+30 {
+		t.Fatalf("cross traffic perturbed flow A's drop pattern: alone=%d shared=%d", alone, shared)
+	}
+	if alone == 0 || alone == 60 {
+		t.Fatalf("loss rate 0.4 produced degenerate survivor count %d", alone)
+	}
+}
+
+// TestEmptyPlanIsFree: attaching an empty plan changes nothing — same
+// deliveries at the same times as no plan at all.
+func TestEmptyPlanIsFree(t *testing.T) {
+	run := func(attach bool) []sim.Time {
+		s := sim.New()
+		f := network.New(s)
+		sw := f.AddSwitch(network.DefaultSwitchParams(2))
+		lp := network.DefaultLinkParams()
+		var times []sim.Time
+		if0 := f.AttachNIC(0, sw, 0, lp, func(p *network.Packet) {})
+		f.AttachNIC(1, sw, 1, lp, func(p *network.Packet) { times = append(times, s.Now()) })
+		if attach {
+			Attach(&Plan{Seed: 99}, f, nil)
+		}
+		for i := 0; i < 10; i++ {
+			i := i
+			s.At(sim.FromMicros(float64(5*i)), func() { sendOne(f, if0, 0, 1) })
+		}
+		s.Run()
+		return times
+	}
+	without := run(false)
+	with := run(true)
+	if len(without) != len(with) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(without), len(with))
+	}
+	for i := range without {
+		if without[i] != with[i] {
+			t.Fatalf("delivery %d time differs: %v vs %v", i, without[i], with[i])
+		}
+	}
+}
+
+// TestPlanCloneIsDeep: extending a clone's rules leaves the base alone.
+func TestPlanCloneIsDeep(t *testing.T) {
+	base := &Plan{Seed: 1, Loss: []LossRule{{Links: AllLinks(), Window: Always, Rate: 0.01}}}
+	c := base.Clone()
+	c.Loss = append(c.Loss, LossRule{Links: NodeLinks(3), Window: Always, Rate: 0.5})
+	c.Loss[0].Rate = 0.9
+	if len(base.Loss) != 1 || base.Loss[0].Rate != 0.01 {
+		t.Fatalf("clone aliased the base plan: %+v", base.Loss)
+	}
+	if base.Empty() {
+		t.Fatal("base with a loss rule reported Empty")
+	}
+	if !(&Plan{Seed: 5}).Empty() {
+		t.Fatal("seed-only plan should be Empty")
+	}
+}

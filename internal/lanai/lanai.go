@@ -88,6 +88,12 @@ type NIC struct {
 	cpuBusy  sim.Time // accumulated busy time
 	cpuTasks int64
 
+	// slow is a fault-injection multiplier on firmware task durations
+	// (a degraded card running below its rated clock). 1 = nominal.
+	slow      float64
+	stalls    int64
+	stallTime sim.Time
+
 	sdma *DMAEngine
 	rdma *DMAEngine
 }
@@ -97,6 +103,7 @@ func NewNIC(s *sim.Simulator, model Model) *NIC {
 	return &NIC{
 		sim:   s,
 		model: model,
+		slow:  1,
 		sdma:  &DMAEngine{sim: s, params: model.SDMA},
 		rdma:  &DMAEngine{sim: s, params: model.RDMA},
 	}
@@ -120,11 +127,50 @@ func (n *NIC) Exec(cycles int64, fn func()) {
 		start = n.cpuFree
 	}
 	dur := n.model.Cycles(cycles)
+	if n.slow != 1 {
+		dur = sim.Time(float64(dur)*n.slow + 0.5)
+	}
 	n.cpuFree = start + dur
 	n.cpuBusy += dur
 	n.cpuTasks++
 	n.sim.At(n.cpuFree, fn)
 }
+
+// Stall freezes the firmware processor for d starting now (or when its
+// current commitments finish, whichever is later): queued and future tasks
+// wait it out. Models a firmware hang or a host-bus hiccup that starves
+// the LANai — the fault layer's "NIC stall" fault.
+func (n *NIC) Stall(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	start := n.sim.Now()
+	if n.cpuFree > start {
+		start = n.cpuFree
+	}
+	n.cpuFree = start + d
+	n.stalls++
+	n.stallTime += d
+}
+
+// SetSlowdown sets the firmware duration multiplier for subsequent Exec
+// calls. factor <= 0 (or 1) restores nominal speed. Models thermal
+// throttling or a degraded card — the fault layer's "NIC slowdown" fault.
+func (n *NIC) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	n.slow = factor
+}
+
+// Slowdown returns the current firmware duration multiplier.
+func (n *NIC) Slowdown() float64 { return n.slow }
+
+// Stalls returns the number of injected processor stalls.
+func (n *NIC) Stalls() int64 { return n.stalls }
+
+// StallTime returns the total injected stall duration.
+func (n *NIC) StallTime() sim.Time { return n.stallTime }
 
 // CPUBusyTime returns total firmware processor busy time so far.
 func (n *NIC) CPUBusyTime() sim.Time { return n.cpuBusy }

@@ -371,10 +371,12 @@ func (m *MCP) handleBarrierAck(f *Frame) {
 	for i, sb := range c.barrierSent {
 		if sb.frame.Seq == f.AckSeq {
 			c.barrierSent = append(c.barrierSent[:i], c.barrierSent[i+1:]...)
-			c.retryRounds = 0
+			m.ackProgress(c)
 			break
 		}
 	}
+	// A stale or duplicate barrier ack (seq already retired) matches no
+	// entry and is simply absorbed.
 	m.rearmRetransTimer(c)
 }
 
@@ -386,6 +388,7 @@ func (m *MCP) retransmitBarrier(c *Connection) {
 	for _, sb := range c.barrierSent {
 		sb := sb
 		m.stats.BarrierResends++
+		c.retransmit++
 		m.nic.Exec(pr.Retrans+pr.SendXmit, func() { m.transmitFrame(sb.frame) })
 	}
 }

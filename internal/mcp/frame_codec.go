@@ -1,0 +1,108 @@
+package mcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"gmsim/internal/network"
+)
+
+// Wire-level frame codec. The simulator normally carries *Frame values
+// through the fabric untouched, but the fault layer needs something it can
+// actually damage: a byte image whose corruption is detected (or missed)
+// the way real firmware detects it — by checksumming. EncodeFrame lays a
+// frame out as GM would on the wire and appends a CRC32; DecodeFrame
+// verifies the CRC and bounds-checks every field, so a mangled image is
+// rejected at the receiver for the price of FirmwareParams.CRCCheck.
+//
+// Layout (little-endian):
+//
+//	u8  kind
+//	u32 srcNode   u8 srcPort
+//	u32 dstNode   u8 dstPort
+//	u32 seq
+//	u32 ackSeq
+//	u8  flags     (bit0 = NoBuffer)
+//	u32 srcEpoch
+//	u8  origKind  u8 origDstPort
+//	u32 dataLen   [dataLen]byte data
+//	u32 crc32     (IEEE, over all preceding bytes)
+
+// codecOverhead is the encoded size of a frame with no payload.
+const codecOverhead = 1 + 5 + 5 + 4 + 4 + 1 + 4 + 2 + 4 + 4
+
+// ErrFrameCorrupt is returned by DecodeFrame when the CRC does not match
+// the image: the frame was damaged on the wire.
+var ErrFrameCorrupt = errors.New("mcp: frame CRC mismatch")
+
+// ErrFrameTruncated is returned when the image is too short to contain
+// the frame it claims.
+var ErrFrameTruncated = errors.New("mcp: frame truncated")
+
+// EncodeFrame serializes a frame to its wire image, CRC included.
+func EncodeFrame(f *Frame) []byte {
+	b := make([]byte, 0, codecOverhead+len(f.Data))
+	b = append(b, byte(f.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.SrcNode))
+	b = append(b, byte(f.SrcPort))
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.DstNode))
+	b = append(b, byte(f.DstPort))
+	b = binary.LittleEndian.AppendUint32(b, f.Seq)
+	b = binary.LittleEndian.AppendUint32(b, f.AckSeq)
+	var flags byte
+	if f.NoBuffer {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.SrcEpoch))
+	b = append(b, byte(f.OrigKind), byte(f.OrigDstPort))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Data)))
+	b = append(b, f.Data...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// EncodeWire implements network.WireEncoder: the fault layer calls it to
+// obtain the byte image it corrupts in place of the structured payload.
+func (f *Frame) EncodeWire() []byte { return EncodeFrame(f) }
+
+// DecodeFrame parses a wire image produced by EncodeFrame. The CRC is
+// checked first — a damaged image fails here regardless of which bytes
+// were hit — and every field is then validated against the protocol's
+// bounds so a decode error can never produce an out-of-range frame.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) < codecOverhead {
+		return nil, ErrFrameTruncated
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrFrameCorrupt
+	}
+	f := &Frame{}
+	f.Kind = FrameKind(body[0])
+	f.SrcNode = network.NodeID(binary.LittleEndian.Uint32(body[1:5]))
+	f.SrcPort = int(body[5])
+	f.DstNode = network.NodeID(binary.LittleEndian.Uint32(body[6:10]))
+	f.DstPort = int(body[10])
+	f.Seq = binary.LittleEndian.Uint32(body[11:15])
+	f.AckSeq = binary.LittleEndian.Uint32(body[15:19])
+	f.NoBuffer = body[19]&1 != 0
+	f.SrcEpoch = int(binary.LittleEndian.Uint32(body[20:24]))
+	f.OrigKind = FrameKind(body[24])
+	f.OrigDstPort = int(body[25])
+	n := binary.LittleEndian.Uint32(body[26:30])
+	if int(n) != len(body)-30 {
+		return nil, fmt.Errorf("mcp: frame data length %d does not match image (%w)", n, ErrFrameTruncated)
+	}
+	if n > 0 {
+		f.Data = append([]byte(nil), body[30:]...)
+	}
+	if f.Kind > CollBcastFrame || f.OrigKind > CollBcastFrame {
+		return nil, fmt.Errorf("mcp: frame kind out of range (%w)", ErrFrameCorrupt)
+	}
+	if f.SrcPort >= 8 || f.DstPort >= 8 || f.OrigDstPort >= 8 {
+		return nil, fmt.Errorf("mcp: port out of range (%w)", ErrFrameCorrupt)
+	}
+	return f, nil
+}

@@ -1,0 +1,127 @@
+package mcp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestFrameCodecRoundtrip pins the codec on representative frames.
+func TestFrameCodecRoundtrip(t *testing.T) {
+	frames := []*Frame{
+		{Kind: DataFrame, SrcNode: 3, SrcPort: 2, DstNode: 9, DstPort: 4, Seq: 77, Data: []byte("hello")},
+		{Kind: AckFrame, SrcNode: 1, DstNode: 0, AckSeq: 1 << 31},
+		{Kind: NackFrame, SrcNode: 5, DstNode: 6, AckSeq: 12, NoBuffer: true},
+		{Kind: BarrierGatherFrame, SrcNode: 15, SrcPort: 7, DstNode: 0, DstPort: 7, Seq: 4, SrcEpoch: 3},
+		{Kind: BarrierRejectFrame, SrcNode: 2, DstNode: 3, OrigKind: BarrierBcastFrame, OrigDstPort: 5},
+	}
+	for _, f := range frames {
+		img := EncodeFrame(f)
+		got, err := DecodeFrame(img)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", f, err)
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("roundtrip mismatch:\nin:  %+v\nout: %+v", f, got)
+		}
+	}
+}
+
+// TestFrameCodecRejectsDamage: any single-bit flip must fail decoding.
+func TestFrameCodecRejectsDamage(t *testing.T) {
+	f := &Frame{Kind: DataFrame, SrcNode: 1, SrcPort: 2, DstNode: 2, DstPort: 3, Seq: 9, Data: []byte("abc")}
+	img := EncodeFrame(f)
+	for bit := 0; bit < len(img)*8; bit++ {
+		dam := append([]byte(nil), img...)
+		dam[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeFrame(dam); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+	if _, err := DecodeFrame(img[:len(img)-3]); err == nil {
+		t.Fatal("truncated image decoded")
+	}
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Fatal("empty image decoded")
+	}
+}
+
+// FuzzFrameDecode: DecodeFrame must never panic on arbitrary bytes, and
+// anything it accepts must re-encode to the same image (the codec is a
+// bijection on its valid range).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(&Frame{Kind: DataFrame, SrcNode: 1, DstNode: 2, Seq: 3, Data: []byte("seed")}))
+	f.Add(EncodeFrame(&Frame{Kind: BarrierPEFrame, SrcNode: 4, SrcPort: 7, DstNode: 5, DstPort: 7, Seq: 1}))
+	f.Add(EncodeFrame(&Frame{Kind: AckFrame, SrcNode: 0, DstNode: 1, AckSeq: 0xFFFFFFFF}))
+	corrupt := EncodeFrame(&Frame{Kind: NackFrame, SrcNode: 2, DstNode: 3, NoBuffer: true})
+	corrupt[2] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// Valid range invariants the firmware relies on.
+		if fr.Kind > CollBcastFrame || fr.SrcPort >= 8 || fr.DstPort >= 8 || fr.OrigDstPort >= 8 {
+			t.Fatalf("decode accepted out-of-range frame %+v", fr)
+		}
+		img := EncodeFrame(fr)
+		if !bytes.Equal(img, data) {
+			t.Fatalf("re-encode differs:\nin:  %x\nout: %x", data, img)
+		}
+		back, err := DecodeFrame(img)
+		if err != nil || !reflect.DeepEqual(fr, back) {
+			t.Fatalf("re-decode mismatch: %v %+v vs %+v", err, fr, back)
+		}
+	})
+}
+
+// FuzzSeqWindow: the sliding 64-entry duplicate-suppression window must
+// agree with an unbounded reference model on arbitrary walks of the
+// sequence space (including wraparound), and never double-deliver.
+func FuzzSeqWindow(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{10, 246, 10, 246}) // +10, -10 hops
+	f.Add([]byte{127, 127, 127, 127, 127, 127})
+	f.Add([]byte{1, 255, 1, 255, 1})
+	f.Fuzz(func(t *testing.T, deltas []byte) {
+		if len(deltas) > 512 {
+			deltas = deltas[:512]
+		}
+		var w seqWindow
+		delivered := make(map[uint32]bool)
+		var max uint32
+		first := true
+		seq := uint32(0)
+		for i, d := range deltas {
+			seq += uint32(int32(int8(d))) // signed hop through the seq space
+			var want bool
+			switch {
+			case first:
+				want = true
+			case seqLess(max, seq):
+				want = true
+			case max-seq >= 64:
+				want = false // older than the window: treated as duplicate
+			default:
+				want = !delivered[seq]
+			}
+			got := w.mark(seq)
+			if got != want {
+				t.Fatalf("step %d: mark(%d) = %v, want %v (max=%d)", i, seq, got, want, max)
+			}
+			if delivered[seq] && got {
+				t.Fatalf("step %d: seq %d delivered twice", i, seq)
+			}
+			if got {
+				delivered[seq] = true
+			}
+			if first || seqLess(max, seq) {
+				max = seq
+			}
+			first = false
+		}
+	})
+}

@@ -2,6 +2,8 @@ package mcp
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"gmsim/internal/lanai"
 	"gmsim/internal/network"
@@ -15,6 +17,12 @@ type MCP struct {
 	cfg     Config
 	iface   *network.Iface
 	routeTo func(network.NodeID) ([]byte, error)
+
+	// rng drives the retransmission-timer jitter. Seeded from the node ID
+	// so every run of the same cluster draws the same sequence; it is
+	// consumed only when a timer is armed, all on the simulator's single
+	// event loop.
+	rng *rand.Rand
 
 	ports []*Port
 	conns map[network.NodeID]*Connection
@@ -42,6 +50,7 @@ func New(nic *lanai.NIC, cfg Config) *MCP {
 		sim:           nic.Sim(),
 		nic:           nic,
 		cfg:           cfg,
+		rng:           network.LinkStream(0x6d6370, network.LinkID(cfg.Node)),
 		conns:         make(map[network.NodeID]*Connection),
 		pendingClosed: make(map[int][]pendingClosed),
 		lastGB:        make([]*BarrierToken, cfg.NumPorts),
@@ -265,14 +274,35 @@ func (m *MCP) transmitFrame(f *Frame) {
 }
 
 // HandleDelivered is the fabric receive callback: a packet has fully
-// arrived at this NIC.
+// arrived at this NIC. Damaged packets (failed CRC) are discarded after
+// charging the check; when the header survived the damage (truncation cut
+// only the tail) and the frame was data, the receiver nacks so the sender
+// rewinds immediately instead of waiting out its timer.
 func (m *MCP) HandleDelivered(p *network.Packet) {
-	f, ok := p.Payload.(*Frame)
-	if !ok {
-		m.stats.ProtocolErrors++
+	if p.Corrupt {
+		m.nic.Exec(m.cfg.Params.CRCCheck, func() {
+			m.stats.CorruptDrops++
+			if f, ok := p.Payload.(*Frame); ok && f.Kind == DataFrame {
+				m.sendNack(m.conn(f.SrcNode))
+			}
+		})
 		return
 	}
-	m.receiveFrame(f)
+	switch pl := p.Payload.(type) {
+	case *Frame:
+		m.receiveFrame(pl)
+	case []byte:
+		// A wire-level byte image (the fault layer serializes frames it
+		// mangles): decode and CRC-check like real firmware.
+		f, err := DecodeFrame(pl)
+		if err != nil {
+			m.nic.Exec(m.cfg.Params.CRCCheck, func() { m.stats.CorruptDrops++ })
+			return
+		}
+		m.receiveFrame(f)
+	default:
+		m.stats.ProtocolErrors++
+	}
 }
 
 // receiveFrame charges the RECV state machine's classification cost and
@@ -421,7 +451,7 @@ func (m *MCP) handleAck(f *Frame) {
 		c.sentList = c.sentList[1:]
 	}
 	if len(done) > 0 {
-		c.retryRounds = 0
+		m.ackProgress(c)
 	}
 	m.rearmRetransTimer(c)
 	pr := m.cfg.Params
@@ -448,10 +478,13 @@ func (m *MCP) handleNack(f *Frame) {
 	if f.NoBuffer {
 		// The peer is alive but out of receive buffers: retry on the
 		// timer, and do not let the starvation kill the connection.
-		c.retryRounds = 0
+		m.ackProgress(c)
 		m.armRetransTimer(c)
 		return
 	}
+	// A nack proves the peer is up and talking; only its buffers or the
+	// wire lost frames. Rewind promptly rather than at the backed-off rate.
+	m.ackProgress(c)
 	m.retransmitData(c)
 }
 
@@ -463,6 +496,7 @@ func (m *MCP) retransmitData(c *Connection) {
 	for _, it := range c.sentList {
 		it := it
 		m.stats.Retransmissions++
+		c.retransmit++
 		m.nic.Exec(pr.Retrans+pr.SendXmit, func() { m.transmitFrame(it.frame) })
 	}
 	m.rearmRetransTimer(c)
@@ -487,6 +521,29 @@ func (m *MCP) giveUpIfExhausted(c *Connection) bool {
 // Retransmission timer (shared by data and reliable-barrier traffic).
 // ---------------------------------------------------------------------------
 
+// retransInterval computes the next retransmission timeout: the base
+// RetransTimeout doubled per backoff round up to RetransBackoffMax, plus a
+// deterministic seeded jitter of up to RetransJitterPct. Without backoff,
+// a dead peer at high loss rates holds every sender in a fixed-period
+// retransmit storm; the doubling drains it, and the jitter keeps peers
+// that lost packets at the same instant from re-colliding forever.
+func (m *MCP) retransInterval(c *Connection) sim.Time {
+	pr := m.cfg.Params
+	d := pr.RetransTimeout
+	if maxT := pr.RetransBackoffMax; maxT > d {
+		for i := 0; i < c.backoff && d < maxT; i++ {
+			d *= 2
+		}
+		if d > maxT {
+			d = maxT
+		}
+	}
+	if pr.RetransJitterPct > 0 {
+		d += sim.Time(float64(d) * pr.RetransJitterPct / 100 * m.rng.Float64())
+	}
+	return d
+}
+
 func (m *MCP) armRetransTimer(c *Connection) {
 	if c.retransTimer != 0 {
 		return
@@ -494,7 +551,8 @@ func (m *MCP) armRetransTimer(c *Connection) {
 	if len(c.sentList) == 0 && len(c.barrierSent) == 0 {
 		return
 	}
-	id := m.sim.After(m.cfg.Params.RetransTimeout, func() {
+	c.curRTO = m.retransInterval(c)
+	id := m.sim.After(c.curRTO, func() {
 		c.retransTimer = 0
 		m.timerFire(c)
 	})
@@ -509,7 +567,30 @@ func (m *MCP) rearmRetransTimer(c *Connection) {
 	m.armRetransTimer(c)
 }
 
+// ackProgress resets the recovery state after any sign of life from the
+// peer: an acknowledgment that retired traffic, a nack (the peer is up and
+// talking), or a no-buffer response.
+func (m *MCP) ackProgress(c *Connection) {
+	c.retryRounds = 0
+	c.backoff = 0
+}
+
+// timerFire runs when the retransmission timer expires with traffic still
+// outstanding: note the fired interval, grow the next one, and rewind.
 func (m *MCP) timerFire(c *Connection) {
+	if len(c.sentList) == 0 && len(c.barrierSent) == 0 {
+		return
+	}
+	m.stats.TimerFires++
+	if len(c.rtoHist) < rtoHistCap {
+		c.rtoHist = append(c.rtoHist, c.curRTO)
+	}
+	if m.cfg.Params.RetransBackoffMax > m.cfg.Params.RetransTimeout &&
+		m.cfg.Params.RetransTimeout<<c.backoff < m.cfg.Params.RetransBackoffMax {
+		c.backoff++
+		c.backoffs++
+		m.stats.Backoffs++
+	}
 	if len(c.sentList) > 0 {
 		m.retransmitData(c)
 	}
@@ -517,6 +598,37 @@ func (m *MCP) timerFire(c *Connection) {
 		m.retransmitBarrier(c)
 	}
 	m.armRetransTimer(c)
+}
+
+// Recovery returns the recovery picture for one peer connection.
+func (m *MCP) Recovery(peer network.NodeID) RecoveryStats {
+	c, ok := m.conns[peer]
+	if !ok {
+		return RecoveryStats{Peer: peer}
+	}
+	return RecoveryStats{
+		Peer:            peer,
+		Retransmissions: c.retransmit,
+		Backoffs:        c.backoffs,
+		RetryRounds:     c.retryRounds,
+		RTO:             c.curRTO,
+		RTOHistory:      append([]sim.Time(nil), c.rtoHist...),
+	}
+}
+
+// RecoveryAll returns recovery stats for every peer this NIC has talked
+// to, ordered by peer ID.
+func (m *MCP) RecoveryAll() []RecoveryStats {
+	peers := make([]network.NodeID, 0, len(m.conns))
+	for p := range m.conns {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	out := make([]RecoveryStats, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, m.Recovery(p))
+	}
+	return out
 }
 
 // failConnection gives up on a peer that has not acknowledged anything for

@@ -73,9 +73,24 @@ type FirmwareParams struct {
 	// payloads on the NIC: reduction combining or broadcast payload copy.
 	CollPerElem int64
 
+	// CRCCheck: detecting and discarding a packet whose CRC fails
+	// (corrupted or truncated on the wire).
+	CRCCheck int64
+
 	// RetransTimeout is the go-back-N retransmission timeout for unacked
-	// data (and, in reliable-barrier mode, barrier) packets.
+	// data (and, in reliable-barrier mode, barrier) packets — the base
+	// interval before backoff.
 	RetransTimeout sim.Time
+	// RetransBackoffMax caps the exponentially backed-off retransmission
+	// timeout: each timer round without acknowledgment progress doubles
+	// the interval up to this ceiling, so a dead or partitioned peer
+	// cannot hold the firmware in a fixed-period retransmit storm.
+	// <= RetransTimeout disables backoff (the pre-hardening behavior).
+	RetransBackoffMax sim.Time
+	// RetransJitterPct adds a deterministic seeded jitter of up to this
+	// percentage to every retransmission interval, de-synchronizing peers
+	// that lost packets at the same instant. 0 disables jitter.
+	RetransJitterPct float64
 	// MaxRetries bounds consecutive timer-driven retransmission rounds
 	// with no acknowledgment progress; beyond it GM declares the
 	// connection dead, drops the unacknowledged traffic and returns the
@@ -110,9 +125,13 @@ func DefaultFirmwareParams() FirmwareParams {
 		CollPrep:        150,
 		CollPerElem:     12,
 
-		RetransTimeout: 1 * sim.Millisecond,
-		MaxRetries:     100,
-		LoopbackDelay:  500 * sim.Nanosecond,
+		CRCCheck: 45,
+
+		RetransTimeout:    1 * sim.Millisecond,
+		RetransBackoffMax: 16 * sim.Millisecond,
+		RetransJitterPct:  10,
+		MaxRetries:        100,
+		LoopbackDelay:     500 * sim.Nanosecond,
 	}
 }
 
@@ -170,6 +189,14 @@ type Stats struct {
 	Duplicates      int64
 	OutOfOrder      int64
 	NoRecvToken     int64
+	// CorruptDrops counts packets discarded because their CRC failed
+	// (wire corruption or truncation).
+	CorruptDrops int64
+	// TimerFires counts retransmission-timer expirations that found
+	// unacknowledged traffic; Backoffs counts the subset that grew the
+	// next interval (exponential backoff engaged).
+	TimerFires int64
+	Backoffs   int64
 
 	BarrierSent      int64
 	BarrierRecvd     int64

@@ -1,6 +1,9 @@
 package mcp
 
-import "gmsim/internal/network"
+import (
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
 
 // Port is the NIC-side endpoint data structure: send/receive token state,
 // the host event delivery hook, and — the paper's addition — the pointer to
@@ -117,6 +120,37 @@ type Connection struct {
 	retransTimer int64 // sim.EventID as int64; 0 = none
 	// retryRounds counts consecutive timer firings without ack progress.
 	retryRounds int
+
+	// Recovery state (hardening against the fault layer): backoff is the
+	// current exponent of the retransmission interval, reset on any
+	// acknowledgment progress; curRTO is the interval armed last;
+	// rtoHist records the intervals of timer rounds that actually fired
+	// (bounded), for the recovery counters and the backoff-schedule test.
+	backoff    int
+	curRTO     sim.Time
+	rtoHist    []sim.Time
+	retransmit int64 // total frames re-sent to this peer
+	backoffs   int64 // timer rounds that grew the interval
+}
+
+// rtoHistCap bounds the per-connection record of fired intervals.
+const rtoHistCap = 64
+
+// RecoveryStats is the per-connection recovery picture an MCP exposes:
+// how hard the firmware is working to keep one peer's channel alive.
+type RecoveryStats struct {
+	Peer network.NodeID
+	// Retransmissions counts frames re-sent to this peer (data + barrier).
+	Retransmissions int64
+	// Backoffs counts timer rounds that doubled the interval.
+	Backoffs int64
+	// RetryRounds is the current run of rounds without ack progress.
+	RetryRounds int
+	// RTO is the retransmission interval armed most recently.
+	RTO sim.Time
+	// RTOHistory holds the intervals of fired timer rounds, oldest first
+	// (bounded to the most recent rtoHistCap).
+	RTOHistory []sim.Time
 }
 
 type sentItem struct {

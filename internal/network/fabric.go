@@ -16,9 +16,18 @@ type Fabric struct {
 	ifaces   map[NodeID]*Iface
 	graph    *route.Graph
 	observer Observer
+	hook     FaultHook
 
 	lossFn func(p *Packet) bool
-	rng    *rand.Rand
+	// Random loss (SetLossRate) draws from one independent seeded stream
+	// per directed channel, so traffic on one link never perturbs the drop
+	// pattern of another.
+	lossRate    float64
+	lossSeed    int64
+	lossStreams map[LinkID]*rand.Rand
+
+	nextLink LinkID
+	nicLinks map[NodeID]NICLinks
 
 	delivered int64
 	dropped   int64
@@ -30,9 +39,10 @@ type fabric = Fabric
 // New creates an empty fabric on the given simulator.
 func New(s *sim.Simulator) *Fabric {
 	return &Fabric{
-		sim:    s,
-		ifaces: make(map[NodeID]*Iface),
-		graph:  route.NewGraph(),
+		sim:      s,
+		ifaces:   make(map[NodeID]*Iface),
+		graph:    route.NewGraph(),
+		nicLinks: make(map[NodeID]NICLinks),
 	}
 }
 
@@ -48,26 +58,70 @@ func (f *Fabric) Dropped() int64 { return f.dropped }
 // SetObserver installs a fabric event observer (tracing); nil clears it.
 func (f *Fabric) SetObserver(o Observer) { f.observer = o }
 
+// SetFaultHook installs a fault-injection hook consulted at every channel
+// hop, before the fabric's own loss injection (see internal/fault).
+// nil clears it.
+func (f *Fabric) SetFaultHook(h FaultHook) { f.hook = h }
+
+// NoteFault forwards a fault-layer event to the observer, if the observer
+// cares (implements FaultObserver). The fault injector calls this so link
+// flaps, stalls and corruptions appear in packet traces.
+func (f *Fabric) NoteFault(kind string, p *Packet, detail string) {
+	if fo, ok := f.observer.(FaultObserver); ok {
+		fo.FaultInjected(kind, p, detail)
+	}
+}
+
 // SetLossFunc installs a deterministic per-hop loss predicate: any packet
 // head arriving at any sink for which fn returns true is discarded.
 // Used by reliability tests to drop specific packets. nil clears it.
 func (f *Fabric) SetLossFunc(fn func(p *Packet) bool) { f.lossFn = fn }
 
 // SetLossRate installs a seeded random per-hop loss probability.
-// rate <= 0 clears loss injection.
+// Each directed channel draws from its own stream, derived from
+// (seed, link ID), so adding an unrelated flow on other links leaves an
+// existing flow's drop pattern unchanged. rate <= 0 clears loss injection.
 func (f *Fabric) SetLossRate(rate float64, seed int64) {
 	if rate <= 0 {
-		f.lossFn = nil
+		f.lossRate, f.lossStreams = 0, nil
 		return
 	}
-	f.rng = rand.New(rand.NewSource(seed))
-	f.lossFn = func(*Packet) bool { return f.rng.Float64() < rate }
+	f.lossRate = rate
+	f.lossSeed = seed
+	f.lossStreams = make(map[LinkID]*rand.Rand)
 }
 
-func (f *Fabric) dropPacket(p *Packet) bool {
+// LinkStream returns a rand stream deterministically derived from
+// (seed, link): the same derivation the per-link loss machinery uses,
+// exported so the fault layer shares it.
+func LinkStream(seed int64, link LinkID) *rand.Rand {
+	return rand.New(rand.NewSource(mix64(seed, int64(link))))
+}
+
+// mix64 hashes two 64-bit values into one well-distributed seed
+// (splitmix64 finalizer over their combination).
+func mix64(a, b int64) int64 {
+	z := uint64(a) + 0x9E3779B97F4A7C15*(uint64(b)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func (f *Fabric) dropPacket(link LinkID, p *Packet) bool {
 	if f.lossFn != nil && f.lossFn(p) {
 		f.drop(p, "loss")
 		return true
+	}
+	if f.lossRate > 0 {
+		rng, ok := f.lossStreams[link]
+		if !ok {
+			rng = LinkStream(f.lossSeed, link)
+			f.lossStreams[link] = rng
+		}
+		if rng.Float64() < f.lossRate {
+			f.drop(p, "loss")
+			return true
+		}
 	}
 	return false
 }
@@ -105,9 +159,10 @@ func (f *Fabric) AttachNIC(node NodeID, sw *Switch, port int, lp LinkParams, rec
 	}
 	iface := &Iface{fab: f, node: node, recv: recv}
 	// NIC -> switch direction.
-	iface.tx = &channel{fab: f, params: lp, sink: sw}
+	iface.tx = f.newChannel(lp, sw)
 	// switch -> NIC direction.
-	sw.out[port] = &channel{fab: f, params: lp, sink: iface}
+	sw.out[port] = f.newChannel(lp, iface)
+	f.nicLinks[node] = NICLinks{Tx: iface.tx.id, Rx: sw.out[port].id}
 	f.ifaces[node] = iface
 
 	nv, sv := nicVertex(node), switchVertex(sw.id)
@@ -122,8 +177,8 @@ func (f *Fabric) ConnectSwitches(a *Switch, aPort int, b *Switch, bPort int, lp 
 	if a.out[aPort] != nil || b.out[bPort] != nil {
 		panic("network: switch port already cabled")
 	}
-	a.out[aPort] = &channel{fab: f, params: lp, sink: b}
-	b.out[bPort] = &channel{fab: f, params: lp, sink: a}
+	a.out[aPort] = f.newChannel(lp, b)
+	b.out[bPort] = f.newChannel(lp, a)
 	f.graph.AddEdge(switchVertex(a.id), aPort, switchVertex(b.id))
 	f.graph.AddEdge(switchVertex(b.id), bPort, switchVertex(a.id))
 }
@@ -139,11 +194,28 @@ func (f *Fabric) Route(src, dst NodeID) ([]byte, error) {
 	return f.graph.Route(nicVertex(src), nicVertex(dst))
 }
 
+// newChannel allocates one directed channel with the next dense LinkID.
+func (f *Fabric) newChannel(lp LinkParams, sink headSink) *channel {
+	c := &channel{fab: f, params: lp, sink: sink, id: f.nextLink}
+	f.nextLink++
+	return c
+}
+
 // Iface returns the interface of an attached NIC, or nil.
 func (f *Fabric) Iface(node NodeID) *Iface { return f.ifaces[node] }
 
 // NumNICs returns the number of attached NICs.
 func (f *Fabric) NumNICs() int { return len(f.ifaces) }
+
+// NumLinks returns the number of directed channels created so far.
+func (f *Fabric) NumLinks() int { return int(f.nextLink) }
+
+// NICLinkIDs returns the IDs of the two directed channels of a NIC's
+// cable, and whether the NIC is attached.
+func (f *Fabric) NICLinkIDs(node NodeID) (NICLinks, bool) {
+	l, ok := f.nicLinks[node]
+	return l, ok
+}
 
 // Iface is a NIC's attachment point to the fabric: one duplex cable with
 // separate transmit and receive channels, matching the paper's assumption

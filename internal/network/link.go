@@ -41,6 +41,7 @@ type headSink interface {
 // channel is one direction of a link: a serializing resource with latency.
 type channel struct {
 	fab       *fabric
+	id        LinkID
 	params    LinkParams
 	busyUntil sim.Time
 	sink      headSink
@@ -62,12 +63,43 @@ func (c *channel) transmit(p *Packet) sim.Time {
 	c.queued++
 	s.At(headArrive, func() {
 		c.queued--
-		if c.fab.dropPacket(p) {
-			return
-		}
-		c.sink.headArrived(p, wire)
+		c.arrive(p, wire)
 	})
 	return headArrive
+}
+
+// arrive runs at the instant a packet head reaches the end of the channel:
+// the fault hook rules on (and may mutate) the packet, then the fabric's
+// own loss injection applies, then the sink receives the head.
+func (c *channel) arrive(p *Packet, wire sim.Time) {
+	f := c.fab
+	if f.hook != nil {
+		v := f.hook.OnHop(c.id, p)
+		if v.Duplicate {
+			// Deliver an independent copy right behind the original, so a
+			// consumed route on one copy cannot corrupt the other.
+			dup := p.Clone()
+			f.sim.At(f.sim.Now(), func() { c.finish(dup, wire) })
+		}
+		if v.Drop {
+			reason := v.Reason
+			if reason == "" {
+				reason = "fault"
+			}
+			f.drop(p, reason)
+			return
+		}
+	}
+	c.finish(p, wire)
+}
+
+// finish applies the fabric's legacy loss injection and hands the head to
+// the sink.
+func (c *channel) finish(p *Packet, wire sim.Time) {
+	if c.fab.dropPacket(c.id, p) {
+		return
+	}
+	c.sink.headArrived(p, wire)
 }
 
 // busy reports whether the channel is currently serializing a packet.

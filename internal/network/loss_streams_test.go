@@ -1,0 +1,92 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"gmsim/internal/sim"
+)
+
+// TestPerLinkLossIndependentOfOtherFlows: SetLossRate draws each link's
+// drop decisions from a private stream derived from (seed, link ID), so
+// injecting a second flow on disjoint links must leave the first flow's
+// drop pattern bit-identical. (The old implementation used one fabric-wide
+// stream, where any extra packet anywhere permuted every later decision.)
+func TestPerLinkLossIndependentOfOtherFlows(t *testing.T) {
+	run := func(crossTraffic bool) []int {
+		tn := newTestNet(4, DefaultLinkParams(), DefaultSwitchParams(4))
+		tn.f.SetLossRate(0.4, 42)
+		// Flow A: 0 -> 1, packets tagged by sequence number. Flow B
+		// (2 -> 3) shares the switch but no links with flow A.
+		for i := 0; i < 80; i++ {
+			i := i
+			tn.s.At(sim.FromMicros(float64(5*i)), func() {
+				r, err := tn.f.Route(0, 1)
+				if err != nil {
+					panic(err)
+				}
+				tn.f.Iface(0).Transmit(&Packet{Route: r, Src: 0, Dst: 1, Size: 64, Payload: i})
+				if crossTraffic {
+					tn.send(2, 3, 64)
+					tn.send(2, 3, 64)
+				}
+			})
+		}
+		tn.s.Run()
+		var survivors []int
+		for _, p := range tn.recvd[1] {
+			survivors = append(survivors, p.Payload.(int))
+		}
+		return survivors
+	}
+	alone := run(false)
+	shared := run(true)
+	if !reflect.DeepEqual(alone, shared) {
+		t.Fatalf("second flow changed the first flow's drop pattern:\nalone:  %v\nshared: %v", alone, shared)
+	}
+	if len(alone) == 0 || len(alone) == 80 {
+		t.Fatalf("loss rate 0.4 left %d/80 survivors", len(alone))
+	}
+}
+
+// TestLinkStreamStable: the per-link stream derivation is a fixed function
+// of (seed, link) — different links and different seeds give different
+// streams, the same pair gives the same stream.
+func TestLinkStreamStable(t *testing.T) {
+	a1 := LinkStream(7, 3).Int63()
+	a2 := LinkStream(7, 3).Int63()
+	if a1 != a2 {
+		t.Fatalf("same (seed, link) gave different streams: %d vs %d", a1, a2)
+	}
+	if LinkStream(7, 4).Int63() == a1 {
+		t.Fatal("adjacent links share a stream")
+	}
+	if LinkStream(8, 3).Int63() == a1 {
+		t.Fatal("adjacent seeds share a stream")
+	}
+}
+
+// TestNICLinkIDs: every attached NIC reports a distinct (tx, rx) pair and
+// NumLinks covers them all.
+func TestNICLinkIDs(t *testing.T) {
+	tn := newTestNet(4, DefaultLinkParams(), DefaultSwitchParams(4))
+	seen := make(map[LinkID]bool)
+	for i := 0; i < 4; i++ {
+		nl, ok := tn.f.NICLinkIDs(NodeID(i))
+		if !ok {
+			t.Fatalf("node %d has no link IDs", i)
+		}
+		for _, l := range []LinkID{nl.Tx, nl.Rx} {
+			if seen[l] {
+				t.Fatalf("link ID %d assigned twice", l)
+			}
+			if int(l) >= tn.f.NumLinks() {
+				t.Fatalf("link ID %d >= NumLinks %d", l, tn.f.NumLinks())
+			}
+			seen[l] = true
+		}
+	}
+	if _, ok := tn.f.NICLinkIDs(99); ok {
+		t.Fatal("unknown node reported link IDs")
+	}
+}

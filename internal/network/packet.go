@@ -32,6 +32,9 @@ type Packet struct {
 	Size int
 	// Payload carries the firmware-level message.
 	Payload any
+	// Corrupt marks a packet damaged on the wire (bit errors, truncation).
+	// The receiving NIC's CRC check fails and the firmware must discard it.
+	Corrupt bool
 }
 
 // Clone returns a copy of the packet with its own Route slice, so a
@@ -57,4 +60,50 @@ type Observer interface {
 	// PacketDropped fires when the fabric discards a packet and names why
 	// ("loss", "bad-route", ...).
 	PacketDropped(p *Packet, reason string)
+}
+
+// FaultObserver is an optional extension of Observer: implementations also
+// receive fault-layer events (link flaps, corruption, stalls) so timing
+// diagrams can show what the fault injector did. p may be nil for events
+// not tied to a packet (link state changes, firmware stalls).
+type FaultObserver interface {
+	FaultInjected(kind string, p *Packet, detail string)
+}
+
+// WireEncoder is implemented by payloads that can serialize themselves to
+// on-the-wire bytes. The fault layer uses it to corrupt a packet's actual
+// byte image, so the receiving firmware exercises its real decode + CRC
+// path instead of trusting an intact in-memory structure.
+type WireEncoder interface {
+	EncodeWire() []byte
+}
+
+// LinkID identifies one directed channel (one direction of one cable) in
+// the fabric. IDs are dense, assigned in cable-creation order, and stable
+// across runs of the same topology — the fault layer derives per-link
+// random streams from them.
+type LinkID int32
+
+// NICLinks names the two directed channels of a NIC's cable.
+type NICLinks struct {
+	// Tx is the NIC -> switch direction; Rx is switch -> NIC.
+	Tx, Rx LinkID
+}
+
+// Verdict is a FaultHook's decision about one packet completing one channel
+// hop. The hook may additionally mutate the packet in place (set Corrupt,
+// shrink Size, replace the payload with mangled bytes) before returning.
+type Verdict struct {
+	// Drop discards the packet; Reason names why for observers.
+	Drop   bool
+	Reason string
+	// Duplicate delivers a second, independent copy of the packet after
+	// the original (duplicate delivery fault).
+	Duplicate bool
+}
+
+// FaultHook intercepts every packet head arriving at the end of a directed
+// channel, before the fabric's own loss injection. See internal/fault.
+type FaultHook interface {
+	OnHop(link LinkID, p *Packet) Verdict
 }

@@ -23,6 +23,10 @@ const (
 	Deliver
 	// Drop: the fabric discarded a packet.
 	Drop
+	// Fault: the fault layer acted — a link went down or up, a packet was
+	// corrupted, truncated or duplicated, a NIC stalled. The Reason field
+	// carries the fault kind and detail.
+	Fault
 )
 
 func (k Kind) String() string {
@@ -33,6 +37,8 @@ func (k Kind) String() string {
 		return "deliver"
 	case Drop:
 		return "drop"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -101,9 +107,17 @@ func (r *Recorder) record(kind Kind, p *network.Packet, reason string) {
 		Reason: reason,
 		packet: p,
 	}
-	if f, ok := p.Payload.(*mcp.Frame); ok {
-		ev.Frame = f.Kind
-		ev.Seq = f.Seq
+	switch pl := p.Payload.(type) {
+	case *mcp.Frame:
+		ev.Frame = pl.Kind
+		ev.Seq = pl.Seq
+	case []byte:
+		// A corrupted wire image: decode if the damage spared the header
+		// so the timeline still shows what the frame was.
+		if f, err := mcp.DecodeFrame(pl); err == nil {
+			ev.Frame = f.Kind
+			ev.Seq = f.Seq
+		}
 	}
 	if r.filter != nil && !r.filter(ev) {
 		return
@@ -119,6 +133,28 @@ func (r *Recorder) PacketDelivered(p *network.Packet) { r.record(Deliver, p, "")
 
 // PacketDropped implements network.Observer.
 func (r *Recorder) PacketDropped(p *network.Packet, reason string) { r.record(Drop, p, reason) }
+
+// FaultInjected implements network.FaultObserver: fault-layer actions show
+// up in the timeline alongside the traffic they disturb. p may be nil for
+// faults not tied to a packet (link flaps, NIC stalls).
+func (r *Recorder) FaultInjected(kind string, p *network.Packet, detail string) {
+	reason := kind
+	if detail != "" {
+		reason += " " + detail
+	}
+	if p == nil {
+		if !r.enabled {
+			return
+		}
+		ev := Event{At: r.sim.Now(), Kind: Fault, Reason: reason}
+		if r.filter != nil && !r.filter(ev) {
+			return
+		}
+		r.events = append(r.events, ev)
+		return
+	}
+	r.record(Fault, p, reason)
+}
 
 // Filter returns the recorded events matching the predicate.
 func (r *Recorder) Filter(fn func(Event) bool) []Event {
