@@ -40,6 +40,8 @@ figures:
 	$(GO) run ./cmd/barrierbench -fig coll
 	$(GO) run ./cmd/barrierbench -fig scale
 	$(GO) run ./cmd/barrierbench -fig grain
+	$(GO) run ./cmd/barrierbench -fig topo
+	$(GO) run ./cmd/barrierbench -fig contend
 
 # bench_output.txt holds the human-readable Go benchmarks; BENCH_sim.json
 # is the machine-readable perf trajectory (events/sec, ns/event, figures

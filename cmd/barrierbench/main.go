@@ -7,6 +7,9 @@
 //	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N] [-parallel W]
 //	barrierbench -fig rel [-loss 0,0.5,1,2,5] [-faultplan none|flap|corrupt|chaos] [-nodes N] [-dim D]
 //	barrierbench -fig flap [-nodes N] [-dim D] [-outage US]
+//	barrierbench -fig topo [-topo single,star,clos3] [-sizes 16,...,1024] [-radix R]
+//	barrierbench -fig contend [-radix R] [-bytes B]
+//	barrierbench -dumptopo FILE [-topo KIND] [-nodes N] [-radix R]
 //
 // GB rows report the minimum latency over all tree dimensions 1..N-1 and
 // the dimension that achieved it, matching the paper's methodology.
@@ -17,6 +20,12 @@
 // rel sweeps packet loss over the reliable Section-4.4 barriers against
 // the host baseline (optionally on top of a named base fault plan), and
 // -fig flap measures recovery latency after a mid-barrier link outage.
+//
+// The topology figures go beyond the paper's single 16-port crossbar:
+// -fig topo sweeps the barriers over declarative multi-switch fabrics
+// (internal/topo) up to the 1024 nodes a radix-16 fat-tree supports,
+// -fig contend measures trunk contention on a star of switches, and
+// -dumptopo writes any fabric as Graphviz DOT for inspection.
 package main
 
 import (
@@ -34,20 +43,39 @@ import (
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 	"gmsim/internal/stats"
+	"gmsim/internal/topo"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, all")
+	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, topo, contend, all")
 	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	loss := flag.String("loss", "0,0.5,1,2,5", "comma-separated per-hop loss percentages for -fig rel")
 	faultplan := flag.String("faultplan", "none", "base fault plan for -fig rel: none, flap, corrupt, chaos")
-	nodes := flag.Int("nodes", 16, "cluster size for -fig rel and -fig flap")
+	nodes := flag.Int("nodes", 16, "cluster size for -fig rel, -fig flap and -dumptopo")
 	dim := flag.Int("dim", 2, "GB tree dimension for -fig rel and -fig flap")
 	outage := flag.Float64("outage", 200, "link outage duration in microseconds for -fig flap")
 	seed := flag.Int64("seed", 42, "fault plan seed for -fig rel and -fig flap")
+	topoList := flag.String("topo", "single,star,clos3", "comma-separated topology kinds for -fig topo (single, twoswitch, star, clos2, clos3); first entry is used by -dumptopo")
+	radix := flag.Int("radix", topo.DefaultRadix, "switch port count for -fig topo, -fig contend and -dumptopo")
+	sizesFlag := flag.String("sizes", "16,32,64,128,256,512,1024", "comma-separated node counts for -fig topo")
+	bytesFlag := flag.Int("bytes", 4096, "message size for -fig contend streams")
+	dumptopo := flag.String("dumptopo", "", "write the -topo/-nodes/-radix fabric as Graphviz DOT to this file ('-' for stdout) and exit")
 	flag.Parse()
 	runner.SetDefault(*parallel)
+
+	kinds, err := parseKindList(*topoList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -topo: %v\n", err)
+		os.Exit(2)
+	}
+	if *dumptopo != "" {
+		if err := writeDOT(*dumptopo, kinds[0], *nodes, *radix); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *fig {
 	case "5a":
@@ -82,6 +110,15 @@ func main() {
 		printReliability(*nodes, pcts, *dim, *iters, *faultplan, base)
 	case "flap":
 		printFlap(*nodes, *dim, sim.FromMicros(*outage), *seed)
+	case "topo":
+		sizes, err := parseIntList(*sizesFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -sizes: %v\n", err)
+			os.Exit(2)
+		}
+		printTopoScale(kinds, sizes, *radix, *iters)
+	case "contend":
+		printContention(*radix, *bytesFlag, *iters)
 	case "all":
 		rows43 := experiments.Figure5a(*iters)
 		rows72 := experiments.Figure5c(*iters)
@@ -170,6 +207,103 @@ func printMPIBarrier(iters int) {
 		"Nodes", "NIC-backed (us)", "Host-backed (us)", "MPI factor", "Raw-GM factor")
 	for _, r := range rows {
 		t.AddRow(r.Nodes, r.NICBacked, r.HostBack, r.Factor, r.RawFactor)
+	}
+	fmt.Print(t.String())
+}
+
+// parseKindList parses the -topo flag: comma-separated topology kinds.
+func parseKindList(s string) ([]topo.Kind, error) {
+	var out []topo.Kind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := topo.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty topology list")
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("size %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// writeDOT builds the requested fabric and writes its Graphviz DOT form.
+func writeDOT(path string, kind topo.Kind, nodes, radix int) error {
+	spec := topo.Spec{Kind: kind, Nodes: nodes, Radix: radix, AllowExpand: kind == topo.Single}
+	t, err := topo.Build(spec)
+	if err != nil {
+		return err
+	}
+	lp := network.DefaultLinkParams()
+	label := fmt.Sprintf("%s: %d nodes, radix %d (%d switches, %d trunks)\nlink %.0f MB/s, switch route delay %v",
+		kind, nodes, radix, t.Switches(), len(t.Trunks), lp.BandwidthMBps, network.DefaultSwitchParams(radix).RouteDelay)
+	dot := t.DOT(label)
+	if path == "-" {
+		_, err = fmt.Print(dot)
+		return err
+	}
+	return os.WriteFile(path, []byte(dot), 0o644)
+}
+
+func printTopoScale(kinds []topo.Kind, sizes []int, radix, iters int) {
+	rows := experiments.TopoScaleSweep(kinds, sizes, radix, iters, nil)
+	t := stats.NewTable(
+		fmt.Sprintf("Barrier latency across switch topologies, LANai 4.3, radix-%d switches (us; GB topology-aware, best dim)", radix),
+		"Topology", "Nodes", "Switches", "Diam", "NIC-PE", "Host-PE", "NIC-GB", "Host-GB",
+		"NIC dim", "Host dim", "PE factor", "GB factor")
+	have := make(map[[2]int]bool, len(rows))
+	for _, r := range rows {
+		t.AddRow(r.Kind.String(), r.Nodes, r.Switches, r.Diameter,
+			r.NICPE, r.HostPE, r.NICGB, r.HostGB,
+			r.NICGBDim, r.HostGBDim, r.FactorPE, r.FactorGB)
+		have[[2]int{int(r.Kind), r.Nodes}] = true
+	}
+	fmt.Print(t.String())
+	for _, k := range kinds {
+		for _, n := range sizes {
+			if n >= 2 && !have[[2]int{int(k), n}] {
+				spec := topo.Spec{Kind: k, Nodes: n, Radix: radix, AllowExpand: k == topo.Single}
+				_, err := topo.Build(spec)
+				fmt.Printf("skipped %s at %d nodes: %v\n", k, n, err)
+			}
+		}
+	}
+}
+
+func printContention(radix, bytes, iters int) {
+	rows := experiments.CrossSwitchContention(radix, []int{1, 2, 3, 4, 5, 6, 7}, bytes, iters)
+	t := stats.NewTable(
+		fmt.Sprintf("Cross-switch trunk contention on a star of radix-%d switches (%d-byte streams, us/message)", radix, bytes),
+		"Pairs", "Intra-switch", "Cross-switch", "Slowdown")
+	for _, r := range rows {
+		t.AddRow(r.Pairs, r.IntraMicros, r.CrossMicros, r.Slowdown)
 	}
 	fmt.Print(t.String())
 }

@@ -33,6 +33,7 @@ import (
 	"gmsim/internal/mcp"
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
+	"gmsim/internal/topo"
 )
 
 // Report is the schema of BENCH_sim.json.
@@ -53,6 +54,14 @@ type Report struct {
 		ParallelSec float64 `json:"parallel_sec"`
 		Speedup     float64 `json:"speedup"`
 	} `json:"figures"`
+	Topo struct {
+		Nodes        int     `json:"nodes"`
+		Switches     int     `json:"switches"`
+		Diameter     int     `json:"diameter"`
+		BuildMs      float64 `json:"build_ms"`
+		RouteTableMs float64 `json:"route_table_ms"`
+		RoutesPerSec float64 `json:"routes_per_sec"`
+	} `json:"topo"`
 }
 
 func main() {
@@ -91,12 +100,19 @@ func main() {
 	r.Figures.ParallelSec = time.Since(t0).Seconds()
 	r.Figures.Speedup = r.Figures.SerialSec / r.Figures.ParallelSec
 
+	// Topology construction and routing cost: the 1024-node radix-16
+	// fat-tree, built from scratch and fully routed (one BFS per source).
+	topoBench(&r)
+
 	fmt.Printf("engine: %.1f ns/event (%.0f events/sec over %d events)\n",
 		r.Engine.NsPerEvent, r.Engine.EventsPerSec, r.Engine.Events)
 	fmt.Printf("heap:   %.1f ns/schedule+pop, %.1f ns/cancel (depth 256)\n",
 		r.Engine.NsPerSchedulePop, r.Engine.NsPerCancel)
 	fmt.Printf("figures: serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
 		r.Figures.SerialSec, r.Figures.ParallelSec, r.Figures.Workers, r.Figures.Speedup)
+	fmt.Printf("topo:   %d-node clos3 (%d switches, diameter %d): build %.2fms, route table %.0fms (%.0f routes/sec)\n",
+		r.Topo.Nodes, r.Topo.Switches, r.Topo.Diameter,
+		r.Topo.BuildMs, r.Topo.RouteTableMs, r.Topo.RoutesPerSec)
 
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(r, "", "  ")
@@ -110,6 +126,33 @@ func main() {
 		}
 		fmt.Println("wrote", *jsonPath)
 	}
+}
+
+// topoBench times building and fully routing the largest supported fabric:
+// the 1024-node three-level Clos of radix-16 switches. Every barrier
+// simulation at that scale pays the build once and the route rows lazily;
+// this tracks both costs across PRs.
+func topoBench(r *Report) {
+	const n = 1024
+	spec := topo.Spec{Kind: topo.Clos3, Nodes: n, Radix: 16}
+	t0 := time.Now()
+	t := topo.MustBuild(spec)
+	r.Topo.BuildMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	t0 = time.Now()
+	tbl, err := t.RouteTable()
+	if err != nil {
+		panic(err)
+	}
+	routeWall := time.Since(t0)
+	r.Topo.RouteTableMs = float64(routeWall.Nanoseconds()) / 1e6
+	r.Topo.RoutesPerSec = float64(len(tbl)*len(tbl)) / routeWall.Seconds()
+	st, err := t.ComputeStats()
+	if err != nil {
+		panic(err)
+	}
+	r.Topo.Nodes = n
+	r.Topo.Switches = st.Switches
+	r.Topo.Diameter = st.Diameter
 }
 
 // barrierEngineRun runs a 16-node NIC-PE barrier workload and returns the

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	sweep [-nic 4.3|7.2] [-level nic|host] [-sizes 4,8,16] [-iters N] [-parallel W]
+//	sweep -topo star|clos2|clos3 [-radix R] [-sizes 32,64] ...
+//
+// With -topo the cluster is wired as the named multi-switch fabric
+// (internal/topo) from radix-R switches and the GB tree is mapped onto it
+// (intra-switch subtrees, one trunk crossing per leaf switch).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"gmsim/internal/experiments"
 	"gmsim/internal/runner"
 	"gmsim/internal/stats"
+	"gmsim/internal/topo"
 )
 
 func main() {
@@ -28,6 +34,8 @@ func main() {
 	sizesArg := flag.String("sizes", "4,8,16", "comma-separated node counts")
 	iters := flag.Int("iters", 100, "timed iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
+	topoArg := flag.String("topo", "", "wire the cluster as this topology kind (single, twoswitch, star, clos2, clos3) and map the GB tree onto it")
+	radix := flag.Int("radix", topo.DefaultRadix, "switch port count for -topo fabrics")
 	flag.Parse()
 	runner.SetDefault(*parallel)
 
@@ -37,6 +45,23 @@ func main() {
 	} else if *nicModel != "4.3" {
 		fmt.Fprintf(os.Stderr, "unknown NIC model %q\n", *nicModel)
 		os.Exit(2)
+	}
+	topoAware := false
+	if *topoArg != "" {
+		kind, err := topo.ParseKind(*topoArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		base := mkCfg
+		mkCfg = func(n int) cluster.Config {
+			cfg := base(n)
+			tc := experiments.TopoConfig(kind, n, *radix)
+			cfg.Switch = tc.Switch
+			cfg.Topology = tc.Topology
+			return cfg
+		}
+		topoAware = true
 	}
 	level := experiments.NICLevel
 	if *levelArg == "host" {
@@ -52,16 +77,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad size %q\n", s)
 			os.Exit(2)
 		}
-		pts := experiments.GBDimSweep(mkCfg(n), level, *iters)
+		cfg := mkCfg(n)
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pts := experiments.GBDimSweepOn(cfg, level, *iters, topoAware)
 		best := pts[0]
 		for _, p := range pts {
 			if p.Micros < best.Micros {
 				best = p
 			}
 		}
+		fabric := ""
+		if *topoArg != "" {
+			fabric = fmt.Sprintf(", %s radix %d, mapped tree", *topoArg, *radix)
+		}
 		tbl := stats.NewTable(
-			fmt.Sprintf("%s-based GB barrier, %d nodes, LANai %s: latency vs tree dimension",
-				level, n, *nicModel),
+			fmt.Sprintf("%s-based GB barrier, %d nodes, LANai %s%s: latency vs tree dimension",
+				level, n, *nicModel, fabric),
 			"Dim", "Latency (us)", "")
 		for _, p := range pts {
 			mark := ""

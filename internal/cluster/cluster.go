@@ -14,6 +14,7 @@ import (
 	"gmsim/internal/mcp"
 	"gmsim/internal/network"
 	"gmsim/internal/sim"
+	"gmsim/internal/topo"
 )
 
 // Config describes a cluster.
@@ -30,8 +31,15 @@ type Config struct {
 	Link   network.LinkParams
 	Switch network.SwitchParams
 	// TwoLevel splits the nodes across two switches joined by an uplink
-	// (an extension; the paper uses one switch).
+	// (an extension; the paper uses one switch). Ignored when Topology is
+	// set.
 	TwoLevel bool
+	// Topology, when non-nil, declares the switch fabric shape (see
+	// internal/topo): star-of-switches, two- or three-level Clos, etc.
+	// Nil means the classic layout — one crossbar sized to the node count
+	// (or two when TwoLevel is set) — which maps onto the equivalent topo
+	// spec bit-identically. Spec.Nodes may be left zero to mean Nodes.
+	Topology *topo.Spec
 	// ReliableBarrier, ClearUnexpectedOnOpen, LoopbackFlag select the
 	// firmware variants (see mcp.Config).
 	ReliableBarrier       bool
@@ -69,47 +77,72 @@ type Cluster struct {
 	cfg    Config
 	sim    *sim.Simulator
 	fabric *network.Fabric
+	top    *topo.Topology
 	nics   []*lanai.NIC
 	mcps   []*mcp.MCP
 	procs  []*host.Process
 	inj    *fault.Injector
 }
 
-// New builds a cluster from the configuration.
-func New(cfg Config) *Cluster {
-	if cfg.Nodes < 1 {
-		panic("cluster: need at least one node")
+// topoSpec resolves the configuration's topology declaration: an explicit
+// Spec is completed with the node count; a nil Topology maps onto the
+// classic layout (Single, or TwoSwitch under TwoLevel) with the historical
+// auto-expansion, so legacy configs build bit-identical fabrics.
+func (cfg Config) topoSpec() (topo.Spec, error) {
+	if cfg.Topology == nil {
+		kind := topo.Single
+		if cfg.TwoLevel {
+			kind = topo.TwoSwitch
+		}
+		return topo.Spec{Kind: kind, Nodes: cfg.Nodes, Radix: cfg.Switch.Ports, AllowExpand: true}, nil
 	}
+	spec := *cfg.Topology
+	if spec.Nodes == 0 {
+		spec.Nodes = cfg.Nodes
+	}
+	if spec.Nodes != cfg.Nodes {
+		return spec, fmt.Errorf("cluster: topology declares %d nodes but the cluster has %d",
+			spec.Nodes, cfg.Nodes)
+	}
+	if spec.Radix == 0 && cfg.Switch.Ports > 0 {
+		spec.Radix = cfg.Switch.Ports
+	}
+	return spec, nil
+}
+
+// Validate reports why the configuration cannot build: no nodes, a switch
+// radix with too few ports for the node count, an infeasible topology
+// (capacity exceeded, odd fat-tree radix), or a node-count mismatch
+// between Config and its topology spec. New refuses (with this error) to
+// build invalid configurations instead of colliding on port indices.
+func (cfg Config) Validate() error {
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node, have %d", cfg.Nodes)
+	}
+	spec, err := cfg.topoSpec()
+	if err != nil {
+		return err
+	}
+	if _, err := topo.Build(spec); err != nil {
+		return fmt.Errorf("cluster: %d nodes do not fit the topology: %w", cfg.Nodes, err)
+	}
+	return nil
+}
+
+// New builds a cluster from the configuration. It panics with the
+// Validate error on an infeasible configuration; callers with user-
+// supplied configs should Validate first.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	spec, _ := cfg.topoSpec()
+	top := topo.MustBuild(spec)
 	s := sim.New()
 	f := network.New(s)
-	c := &Cluster{cfg: cfg, sim: s, fabric: f}
+	c := &Cluster{cfg: cfg, sim: s, fabric: f, top: top}
 
-	var attach func(i int) (*network.Switch, int)
-	if cfg.TwoLevel {
-		half := (cfg.Nodes + 1) / 2
-		spA, spB := cfg.Switch, cfg.Switch
-		if spA.Ports < half+1 {
-			spA.Ports = half + 1
-			spB.Ports = (cfg.Nodes - half) + 1
-		}
-		swA := f.AddSwitch(spA)
-		swB := f.AddSwitch(spB)
-		f.ConnectSwitches(swA, spA.Ports-1, swB, spB.Ports-1, cfg.Link)
-		attach = func(i int) (*network.Switch, int) {
-			if i < half {
-				return swA, i
-			}
-			return swB, i - half
-		}
-	} else {
-		sp := cfg.Switch
-		if sp.Ports < cfg.Nodes {
-			sp.Ports = cfg.Nodes
-		}
-		sw := f.AddSwitch(sp)
-		attach = func(i int) (*network.Switch, int) { return sw, i }
-	}
-
+	sws := top.Materialize(f, cfg.Switch, cfg.Link)
 	for i := 0; i < cfg.Nodes; i++ {
 		node := network.NodeID(i)
 		nic := lanai.NewNIC(s, cfg.NIC)
@@ -119,10 +152,17 @@ func New(cfg Config) *Cluster {
 		mcfg.ClearUnexpectedOnOpen = cfg.ClearUnexpectedOnOpen
 		mcfg.LoopbackFlag = cfg.LoopbackFlag
 		m := mcp.New(nic, mcfg)
-		sw, port := attach(i)
-		iface := f.AttachNIC(node, sw, port, cfg.Link, m.HandleDelivered)
+		place := top.NICs[i]
+		iface := f.AttachNIC(node, sws[place.Switch], place.Port, cfg.Link, m.HandleDelivered)
+		// Routes come from the topology's cached table (one BFS per
+		// source, shared across destinations) rather than a per-send BFS
+		// over the fabric graph; the values are identical — the table is
+		// computed over the same graph with the same tie-breaking — but
+		// lookups are O(1), which matters when 1024 NICs each talk to
+		// dozens of peers.
+		src := i
 		m.Attach(iface, func(dst network.NodeID) ([]byte, error) {
-			return f.Route(node, dst)
+			return top.Route(src, int(dst))
 		})
 		c.nics = append(c.nics, nic)
 		c.mcps = append(c.mcps, m)
@@ -142,6 +182,10 @@ func (c *Cluster) Sim() *sim.Simulator { return c.sim }
 
 // Fabric returns the network fabric.
 func (c *Cluster) Fabric() *network.Fabric { return c.fabric }
+
+// Topology returns the wiring plan the cluster was built from (never nil;
+// legacy configs get the equivalent Single/TwoSwitch plan).
+func (c *Cluster) Topology() *topo.Topology { return c.top }
 
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }

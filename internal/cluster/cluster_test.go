@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"bytes"
+
 	"testing"
 
 	"gmsim/internal/host"
 	"gmsim/internal/lanai"
 	"gmsim/internal/network"
 	"gmsim/internal/sim"
+	"gmsim/internal/topo"
 )
 
 func TestDefaultConfigBuilds(t *testing.T) {
@@ -128,4 +131,82 @@ func TestRunUntil(t *testing.T) {
 	if !done {
 		t.Fatal("process did not finish")
 	}
+}
+
+// TestFabricRoutesMatchTopology: the routes the fabric serves (built from
+// the materialized switch graph) must agree byte-for-byte with the routes
+// the declarative topology computes — two graphs, same wiring, same
+// tie-breaking.
+func TestFabricRoutesMatchTopology(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"single16", DefaultConfig(16)},
+		{"twolevel32", func() Config {
+			c := DefaultConfig(32)
+			c.TwoLevel = true
+			return c
+		}()},
+		{"clos2", func() Config {
+			c := DefaultConfig(24)
+			c.Switch = network.DefaultSwitchParams(8)
+			c.Topology = &topo.Spec{Kind: topo.Clos2, Radix: 8}
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cl := New(tc.cfg)
+			n := cl.Nodes()
+			for s := 0; s < n; s++ {
+				for d := 0; d < n; d++ {
+					if s == d {
+						continue
+					}
+					fr, err := cl.Fabric().Route(network.NodeID(s), network.NodeID(d))
+					if err != nil {
+						t.Fatalf("fabric route %d->%d: %v", s, d, err)
+					}
+					tr, err := cl.Topology().Route(s, d)
+					if err != nil {
+						t.Fatalf("topo route %d->%d: %v", s, d, err)
+					}
+					if !bytes.Equal(fr, tr) {
+						t.Fatalf("route %d->%d: fabric %v, topology %v", s, d, fr, tr)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := DefaultConfig(0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted zero nodes")
+	}
+	over := DefaultConfig(24)
+	over.Switch = network.DefaultSwitchParams(4)
+	over.Topology = &topo.Spec{Kind: topo.Clos2, Radix: 4}
+	if err := over.Validate(); err == nil {
+		t.Fatal("Validate accepted a cluster over the topology capacity")
+	}
+	mismatch := DefaultConfig(8)
+	mismatch.Topology = &topo.Spec{Kind: topo.Single, Nodes: 4, Radix: 16}
+	if err := mismatch.Validate(); err == nil {
+		t.Fatal("Validate accepted a topology node-count mismatch")
+	}
+}
+
+func TestNewPanicsOnInvalidTopology(t *testing.T) {
+	cfg := DefaultConfig(24)
+	cfg.Switch = network.DefaultSwitchParams(4)
+	cfg.Topology = &topo.Spec{Kind: topo.Clos2, Radix: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New should panic on an invalid topology")
+		}
+	}()
+	New(cfg)
 }

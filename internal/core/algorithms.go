@@ -122,6 +122,95 @@ func GBTree(rank, n, dim int) (parent int, children []int, err error) {
 	return parent, children, nil
 }
 
+// GBTreeMapped returns rank's neighborhood in a topology-aware
+// gather-and-broadcast tree. leafOf maps each rank to the switch its NIC
+// attaches to (cluster.Topology().LeafOf()); ranks sharing a leaf switch
+// form a dimension-dim heap tree among themselves (in rank order), and the
+// lowest rank of each leaf — its leader — joins a dimension-dim heap tree
+// of leaders (leaves ordered by first appearance). Every edge except the
+// leader-to-leader ones stays inside one crossbar, so on a multi-switch
+// fabric the tree crosses trunks exactly (#leaves - 1) times — the minimum
+// any spanning structure can achieve — instead of scattering hops across
+// the fabric the way the flat heap layout does.
+//
+// A nil leafOf, or one that places every rank on the same switch,
+// degenerates to GBTree exactly; rank 0 is always the global root.
+func GBTreeMapped(rank, n, dim int, leafOf []int) (parent int, children []int, err error) {
+	if leafOf == nil {
+		return GBTree(rank, n, dim)
+	}
+	if len(leafOf) != n {
+		return 0, nil, fmt.Errorf("core: leaf map covers %d ranks, group has %d", len(leafOf), n)
+	}
+	if rank < 0 || rank >= n {
+		return 0, nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, n)
+	}
+	if dim < 1 || (n > 1 && dim > n-1) {
+		return 0, nil, fmt.Errorf("core: tree dimension %d out of range [1,%d]", dim, n-1)
+	}
+	// Group ranks by leaf, groups ordered by first appearance (rank 0's
+	// group is group 0), members in rank order.
+	groupOf := make(map[int]int)
+	var members [][]int
+	for r := 0; r < n; r++ {
+		gi, ok := groupOf[leafOf[r]]
+		if !ok {
+			gi = len(members)
+			groupOf[leafOf[r]] = gi
+			members = append(members, nil)
+		}
+		members[gi] = append(members[gi], r)
+	}
+	gi := groupOf[leafOf[rank]]
+	local := members[gi]
+	li := 0
+	for i, r := range local {
+		if r == rank {
+			li = i
+			break
+		}
+	}
+	// Intra-switch subtree over the local members. The local dimension is
+	// clamped so small groups keep a valid tree.
+	localDim := dim
+	if len(local) > 1 && localDim > len(local)-1 {
+		localDim = len(local) - 1
+	}
+	lparent, lchildren, err := GBTree(li, len(local), max(localDim, 1))
+	if err != nil {
+		return 0, nil, err
+	}
+	if lparent >= 0 {
+		// Interior rank: both neighbors are on this switch.
+		parent = local[lparent]
+	} else if gi == 0 {
+		parent = -1 // global root
+	} else {
+		// Leaf leader: parent is the leader of the parent group in the
+		// dimension-dim leader tree.
+		parent = members[(gi-1)/dim][0]
+	}
+	if lparent < 0 {
+		// Leaders forward to child-group leaders first: those messages
+		// cross trunks, so starting them before the intra-switch sends
+		// overlaps the long hops with the short ones.
+		for cg := dim*gi + 1; cg <= dim*gi+dim && cg < len(members); cg++ {
+			children = append(children, members[cg][0])
+		}
+	}
+	for _, lc := range lchildren {
+		children = append(children, local[lc])
+	}
+	return parent, children, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // TreeDepth returns the depth of the dimension-dim GB tree with n nodes
 // (root at depth 0).
 func TreeDepth(n, dim int) int {
@@ -138,6 +227,13 @@ func TreeDepth(n, dim int) int {
 // children and parent of the node, rather than all the nodes in the
 // barrier"). dim is used only for GB.
 func NICBarrierToken(alg mcp.BarrierAlg, g Group, self, dim int) (*mcp.BarrierToken, error) {
+	return NICBarrierTokenMapped(alg, g, self, dim, nil)
+}
+
+// NICBarrierTokenMapped is NICBarrierToken with a topology hint: a non-nil
+// leafOf makes the GB tree switch-aware (GBTreeMapped). PE ignores the
+// hint — its schedule is fixed by the recursive-doubling structure.
+func NICBarrierTokenMapped(alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (*mcp.BarrierToken, error) {
 	n := len(g)
 	if self < 0 || self >= n {
 		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", self, n)
@@ -153,7 +249,7 @@ func NICBarrierToken(alg mcp.BarrierAlg, g Group, self, dim int) (*mcp.BarrierTo
 			tok.Peers = append(tok.Peers, g[r])
 		}
 	case mcp.GB:
-		parent, children, err := GBTree(self, n, dim)
+		parent, children, err := GBTreeMapped(self, n, dim, leafOf)
 		if err != nil {
 			return nil, err
 		}

@@ -342,3 +342,106 @@ func TestNICBarrierTokenErrors(t *testing.T) {
 		t.Fatal("bad alg should error")
 	}
 }
+
+func TestGBTreeMappedNilEqualsFlat(t *testing.T) {
+	for _, n := range []int{1, 4, 9, 16} {
+		for dim := 1; dim < n; dim++ {
+			for r := 0; r < n; r++ {
+				fp, fc, ferr := GBTree(r, n, dim)
+				mp, mc, merr := GBTreeMapped(r, n, dim, nil)
+				if ferr != nil || merr != nil || fp != mp || !equalInts(fc, mc) {
+					t.Fatalf("nil leafOf diverges at r=%d n=%d dim=%d: (%d %v %v) vs (%d %v %v)",
+						r, n, dim, fp, fc, ferr, mp, mc, merr)
+				}
+			}
+		}
+	}
+}
+
+func TestGBTreeMappedUniformLeafEqualsFlat(t *testing.T) {
+	// All ranks on the same crossbar: mapping must be a no-op.
+	leafOf := make([]int, 16)
+	for r := 0; r < 16; r++ {
+		fp, fc, _ := GBTree(r, 16, 4)
+		mp, mc, err := GBTreeMapped(r, 16, 4, leafOf)
+		if err != nil || fp != mp || !equalInts(fc, mc) {
+			t.Fatalf("uniform leafOf diverges at r=%d", r)
+		}
+	}
+}
+
+// TestPropertyGBTreeMappedSpansAndLocalizes: on random leaf assignments the
+// mapped tree (a) is a consistent spanning tree rooted at rank 0, and (b)
+// crosses between leaf switches exactly groups-1 times — one trunk crossing
+// per non-root leaf switch, never more.
+func TestPropertyGBTreeMappedSpansAndLocalizes(t *testing.T) {
+	f := func(a, b, seed uint8) bool {
+		n := int(a%40) + 2
+		dim := int(b)%(n-1) + 1
+		leaves := int(seed)%4 + 1
+		leafOf := make([]int, n)
+		groups := map[int]bool{}
+		for r := 0; r < n; r++ {
+			leafOf[r] = (r*7 + int(seed)) % leaves
+			groups[leafOf[r]] = true
+		}
+		crossEdges := 0
+		childCount := 0
+		for r := 0; r < n; r++ {
+			parent, children, err := GBTreeMapped(r, n, dim, leafOf)
+			if err != nil {
+				return false
+			}
+			if r == 0 && parent != -1 {
+				return false
+			}
+			if r > 0 {
+				if parent < 0 || parent >= n {
+					return false
+				}
+				_, pc, _ := GBTreeMapped(parent, n, dim, leafOf)
+				found := false
+				for _, c := range pc {
+					if c == r {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+				if leafOf[parent] != leafOf[r] {
+					crossEdges++
+				}
+			}
+			childCount += len(children)
+		}
+		return childCount == n-1 && crossEdges == len(groups)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGBTreeMappedErrors(t *testing.T) {
+	if _, _, err := GBTreeMapped(0, 4, 1, []int{0, 0}); err == nil {
+		t.Fatal("short leafOf should error")
+	}
+	if _, _, err := GBTreeMapped(4, 4, 1, []int{0, 0, 0, 1}); err == nil {
+		t.Fatal("rank out of range should error")
+	}
+	if _, _, err := GBTreeMapped(0, 4, 0, []int{0, 0, 0, 1}); err == nil {
+		t.Fatal("dim 0 should error")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -131,7 +131,15 @@ func (c *Comm) dropArrival(src mcp.Endpoint) {
 // path: one host->NIC token, NIC-to-NIC message exchange, one completion
 // event back.
 func (c *Comm) Barrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) error {
-	pb, err := c.StartBarrier(p, alg, g, self, dim)
+	return c.BarrierMapped(p, alg, g, self, dim, nil)
+}
+
+// BarrierMapped is Barrier with a topology hint: a non-nil leafOf (node
+// rank -> leaf-switch index, see cluster.Topology().LeafOf) makes the GB
+// tree switch-aware so trunk crossings are minimized. Nil leafOf is
+// exactly Barrier.
+func (c *Comm) BarrierMapped(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) error {
+	pb, err := c.StartBarrierMapped(p, alg, g, self, dim, leafOf)
 	if err != nil {
 		return err
 	}
@@ -151,7 +159,13 @@ type PendingBarrier struct {
 // the barrier initiation from the polling of the barrier completion, a
 // fuzzy barrier can be performed").
 func (c *Comm) StartBarrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) (*PendingBarrier, error) {
-	tok, err := NICBarrierToken(alg, g, self, dim)
+	return c.StartBarrierMapped(p, alg, g, self, dim, nil)
+}
+
+// StartBarrierMapped is StartBarrier with a topology hint (see
+// BarrierMapped).
+func (c *Comm) StartBarrierMapped(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (*PendingBarrier, error) {
+	tok, err := NICBarrierTokenMapped(alg, g, self, dim, leafOf)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +241,13 @@ func (c *Comm) HostBarrierPE(p *host.Process, g Group, self int) error {
 // the NIC — the effect the paper credits for the host-based GB's
 // competitiveness (Section 6).
 func (c *Comm) HostBarrierGB(p *host.Process, g Group, self, dim int) error {
-	parent, children, err := GBTree(self, len(g), dim)
+	return c.HostBarrierGBMapped(p, g, self, dim, nil)
+}
+
+// HostBarrierGBMapped is HostBarrierGB over the topology-aware tree (see
+// BarrierMapped); nil leafOf is exactly HostBarrierGB.
+func (c *Comm) HostBarrierGBMapped(p *host.Process, g Group, self, dim int, leafOf []int) error {
+	parent, children, err := GBTreeMapped(self, len(g), dim, leafOf)
 	if err != nil {
 		return err
 	}
@@ -254,11 +274,17 @@ func (c *Comm) HostBarrierGB(p *host.Process, g Group, self, dim int) error {
 
 // HostBarrier dispatches on the algorithm.
 func (c *Comm) HostBarrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int) error {
+	return c.HostBarrierMapped(p, alg, g, self, dim, nil)
+}
+
+// HostBarrierMapped dispatches on the algorithm with a topology hint (see
+// BarrierMapped); PE ignores the hint.
+func (c *Comm) HostBarrierMapped(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) error {
 	switch alg {
 	case mcp.PE:
 		return c.HostBarrierPE(p, g, self)
 	case mcp.GB:
-		return c.HostBarrierGB(p, g, self, dim)
+		return c.HostBarrierGBMapped(p, g, self, dim, leafOf)
 	default:
 		return fmt.Errorf("core: unknown algorithm %v", alg)
 	}

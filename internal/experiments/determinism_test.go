@@ -9,6 +9,7 @@ import (
 	"gmsim/internal/mcp"
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
+	"gmsim/internal/topo"
 )
 
 // The worker pool's contract is that parallel execution changes nothing:
@@ -112,6 +113,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}},
 		{"FlapRecovery", func() any {
 			return FlapRecovery(4, 2, sim.FromMicros(150), 99)
+		}},
+		{"TopoScaleSweep", func() any {
+			return TopoScaleSweep([]topo.Kind{topo.Single, topo.Star, topo.Clos2}, []int{4, 8}, 6, detIters, nil)
+		}},
+		{"CrossSwitchContention", func() any {
+			return CrossSwitchContention(6, []int{1, 2}, 1024, detIters)
 		}},
 	}
 	for _, tc := range cases {

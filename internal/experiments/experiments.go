@@ -45,6 +45,11 @@ type Spec struct {
 	Alg     mcp.BarrierAlg
 	// Dim is the GB tree dimension (ignored for PE).
 	Dim int
+	// TopoAware maps the GB tree onto the switch topology (see
+	// core.GBTreeMapped): intra-switch subtrees with one trunk crossing
+	// per leaf switch. Ignored for PE. On a single crossbar the mapped
+	// tree equals the flat one, so the flag changes nothing.
+	TopoAware bool
 	// Warmup barriers run before timing starts; Iters barriers are timed.
 	Warmup, Iters int
 }
@@ -87,6 +92,10 @@ func MeasureBarrier(spec Spec) Result {
 	n := spec.Cluster.Nodes
 	cl := cluster.New(spec.Cluster)
 	g := core.UniformGroup(n, 2)
+	var leafOf []int
+	if spec.TopoAware {
+		leafOf = cl.Topology().LeafOf()
+	}
 	var t0, t1 sim.Time
 	cl.SpawnAll(func(p *host.Process) {
 		rank := p.Rank()
@@ -101,9 +110,9 @@ func MeasureBarrier(spec Spec) Result {
 		one := func() {
 			var err error
 			if spec.Level == NICLevel {
-				err = comm.Barrier(p, spec.Alg, g, rank, spec.Dim)
+				err = comm.BarrierMapped(p, spec.Alg, g, rank, spec.Dim, leafOf)
 			} else {
-				err = comm.HostBarrier(p, spec.Alg, g, rank, spec.Dim)
+				err = comm.HostBarrierMapped(p, spec.Alg, g, rank, spec.Dim, leafOf)
 			}
 			if err != nil {
 				panic(err)
@@ -150,9 +159,15 @@ func MeasureBarriers(specs []Spec) []Result {
 
 // gbSweepSpecs builds the per-dimension GB specs for one cluster size.
 func gbSweepSpecs(cfg cluster.Config, level Level, iters int) []Spec {
+	return gbSweepSpecsOn(cfg, level, iters, false)
+}
+
+// gbSweepSpecsOn is gbSweepSpecs with the topology-aware tree mapping
+// switched on or off.
+func gbSweepSpecsOn(cfg cluster.Config, level Level, iters int, topoAware bool) []Spec {
 	specs := make([]Spec, 0, cfg.Nodes-1)
 	for dim := 1; dim <= cfg.Nodes-1; dim++ {
-		specs = append(specs, Spec{Cluster: cfg, Level: level, Alg: mcp.GB, Dim: dim, Iters: iters})
+		specs = append(specs, Spec{Cluster: cfg, Level: level, Alg: mcp.GB, Dim: dim, TopoAware: topoAware, Iters: iters})
 	}
 	return specs
 }
@@ -181,7 +196,14 @@ func OptimalGBDim(cfg cluster.Config, level Level, iters int) (int, float64) {
 
 // GBDimSweep returns the latency at every tree dimension (experiment E7).
 func GBDimSweep(cfg cluster.Config, level Level, iters int) []DimPoint {
-	results := MeasureBarriers(gbSweepSpecs(cfg, level, iters))
+	return GBDimSweepOn(cfg, level, iters, false)
+}
+
+// GBDimSweepOn is GBDimSweep with the topology-aware tree mapping switched
+// on or off — on a multi-switch config the mapped sweep shows how much of
+// each dimension's latency the flat heap layout was paying in trunk hops.
+func GBDimSweepOn(cfg cluster.Config, level Level, iters int, topoAware bool) []DimPoint {
+	results := MeasureBarriers(gbSweepSpecsOn(cfg, level, iters, topoAware))
 	out := make([]DimPoint, 0, len(results))
 	for i, r := range results {
 		out = append(out, DimPoint{Dim: i + 1, Micros: r.MeanMicros})

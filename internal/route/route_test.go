@@ -1,6 +1,7 @@
 package route
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -278,5 +279,46 @@ func TestPropertyRoutesReachDestination(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRoutesFromMatchesRoute: the batched one-BFS-per-source RoutesFrom must
+// agree byte-for-byte with per-pair Route for every destination, since both
+// implement the same deterministic tie-breaking.
+func TestRoutesFromMatchesRoute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)*2
+		g, nics := twoLevel(n)
+		src := nics[rng.Intn(n)]
+		rows, err := g.RoutesFrom(src)
+		if err != nil {
+			return false
+		}
+		for _, d := range nics {
+			if d == src {
+				continue
+			}
+			want, err := g.Route(src, d)
+			if err != nil {
+				return false
+			}
+			got, ok := rows[d]
+			if !ok || !bytes.Equal(got, want) {
+				t.Logf("RoutesFrom[%d] = %v, Route = %v", d, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoutesFromSwitchErrors(t *testing.T) {
+	g, _ := twoLevel(4)
+	if _, err := g.RoutesFrom(Vertex(0)); err == nil {
+		t.Fatal("RoutesFrom from a switch vertex should error")
 	}
 }

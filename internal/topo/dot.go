@@ -1,0 +1,52 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the topology as a Graphviz graph: switches as boxes ranked
+// by tier, NICs as small circles on their leaf switch, trunks as bold
+// edges labeled with their port pair. label, when non-empty, becomes the
+// graph caption — cmd/barrierbench passes the link and switch parameters
+// so a dump is a complete description of the modeled fabric.
+func (t *Topology) DOT(label string) string {
+	var b strings.Builder
+	b.WriteString("graph topology {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	if label != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=b;\n", label)
+	}
+	levelName := []string{"leaf", "spine", "core"}
+	maxLevel := 0
+	for _, l := range t.Levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	// One rank per tier, cores at the top.
+	for lvl := maxLevel; lvl >= 0; lvl-- {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for s, l := range t.Levels {
+			if l == lvl {
+				fmt.Fprintf(&b, " sw%d;", s)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	for s, ports := range t.SwitchPorts {
+		name := levelName[t.Levels[s]]
+		fmt.Fprintf(&b, "  sw%d [shape=box, style=filled, fillcolor=lightsteelblue, label=\"%s %d\\n%d ports\"];\n",
+			s, name, s, ports)
+	}
+	for _, tr := range t.Trunks {
+		fmt.Fprintf(&b, "  sw%d -- sw%d [style=bold, label=\"%d:%d\"];\n", tr.A, tr.B, tr.APort, tr.BPort)
+	}
+	for n, p := range t.NICs {
+		fmt.Fprintf(&b, "  nic%d [shape=circle, fontsize=9, label=\"%d\"];\n", n, n)
+		fmt.Fprintf(&b, "  sw%d -- nic%d [label=\"%d\", fontsize=8];\n", p.Switch, n, p.Port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package topo
+
+import (
+	"gmsim/internal/network"
+)
+
+// Materialize realizes the wiring plan on a fabric: switches are added in
+// index order (so fabric switch IDs equal plan indices), then trunks are
+// cabled in plan order. The caller attaches NICs afterwards in node order
+// using NICs[i] — this exact sequence keeps fabric link IDs, and therefore
+// every seeded per-link random stream, reproducible for a given plan.
+//
+// sp supplies the per-switch parameters other than Ports (which the plan
+// dictates per switch); lp is used for the trunk cables.
+func (t *Topology) Materialize(f *network.Fabric, sp network.SwitchParams, lp network.LinkParams) []*network.Switch {
+	sws := make([]*network.Switch, len(t.SwitchPorts))
+	for i, ports := range t.SwitchPorts {
+		p := sp
+		p.Ports = ports
+		sws[i] = f.AddSwitch(p)
+	}
+	for _, tr := range t.Trunks {
+		f.ConnectSwitches(sws[tr.A], tr.APort, sws[tr.B], tr.BPort, lp)
+	}
+	return sws
+}
