@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench figures examples clean
+.PHONY: all build test vet race fuzz bench cover figures examples clean
 
 all: build vet test
 
@@ -28,6 +28,23 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzSeqWindow$$ -fuzztime=$(FUZZTIME) ./internal/mcp
+
+# Coverage with per-package floors. The observability layer (internal/trace)
+# and the analytic model (internal/model) are the packages most likely to
+# rot silently — their statement coverage must stay at or above COVER_FLOOR.
+COVER_FLOOR ?= 80.0
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=count ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@for pkg in gmsim/internal/trace gmsim/internal/model; do \
+		pct="$$(awk -v p="$$pkg/" \
+			'index($$1, p) == 1 { tot += $$2; if ($$3 > 0) cov += $$2 } \
+			END { printf "%.1f", tot ? 100 * cov / tot : 0 }' coverage.out)"; \
+		echo "$$pkg: $$pct% of statements (floor $(COVER_FLOOR)%)"; \
+		ok="$$(awk -v a="$$pct" -v b="$(COVER_FLOOR)" 'BEGIN { print (a + 0 >= b + 0) ? 1 : 0 }')"; \
+		if [ "$$ok" != "1" ]; then \
+			echo "coverage for $$pkg below floor"; exit 1; fi; \
+	done
 
 # Regenerate every table/figure of the paper's evaluation plus extensions.
 figures:
@@ -58,4 +75,4 @@ examples:
 	$(GO) run ./examples/mpi
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt coverage.out coverage-summary.txt

@@ -10,6 +10,12 @@
 //	barrierbench -fig topo [-topo single,star,clos3] [-sizes 16,...,1024] [-radix R]
 //	barrierbench -fig contend [-radix R] [-bytes B]
 //	barrierbench -dumptopo FILE [-topo KIND] [-nodes N] [-radix R]
+//	barrierbench -metrics [-nodes N] [-dim D] [-iters N]
+//
+// -metrics runs one observed NIC-PE and one NIC-GB measurement with the
+// full-stack tracer attached and dumps the cluster's metrics registry
+// (packet, retransmit, firmware and per-phase counters) plus the Section
+// 2.2 decomposition of the timed window.
 //
 // GB rows report the minimum latency over all tree dimensions 1..N-1 and
 // the dimension that achieved it, matching the paper's methodology.
@@ -39,6 +45,7 @@ import (
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
 	"gmsim/internal/fault"
+	"gmsim/internal/mcp"
 	"gmsim/internal/network"
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
@@ -61,6 +68,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "16,32,64,128,256,512,1024", "comma-separated node counts for -fig topo")
 	bytesFlag := flag.Int("bytes", 4096, "message size for -fig contend streams")
 	dumptopo := flag.String("dumptopo", "", "write the -topo/-nodes/-radix fabric as Graphviz DOT to this file ('-' for stdout) and exit")
+	metrics := flag.Bool("metrics", false, "run observed -nodes measurements and dump the metrics registry, then exit")
 	flag.Parse()
 	runner.SetDefault(*parallel)
 
@@ -68,6 +76,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -topo: %v\n", err)
 		os.Exit(2)
+	}
+	if *metrics {
+		printMetrics(*nodes, *dim, *iters)
+		return
 	}
 	if *dumptopo != "" {
 		if err := writeDOT(*dumptopo, kinds[0], *nodes, *radix); err != nil {
@@ -425,4 +437,28 @@ func printHeadlines(rows43, rows72 []experiments.Figure5Row) {
 	t.AddRow("8-node PE factor, LANai 7.2", paper.FactorPE8L72, r8b.HostPE/r8b.NICPE)
 	t.AddRow("8-node PE factor, LANai 4.3", paper.FactorPE8L43, r8a.HostPE/r8a.NICPE)
 	fmt.Print(t.String())
+}
+
+// printMetrics runs one observed NIC-PE and one NIC-GB measurement and
+// dumps the cluster metrics registry alongside the phase decomposition —
+// the always-on counters every experiment accumulates, surfaced.
+func printMetrics(n, dim, iters int) {
+	specs := []experiments.Spec{
+		{Cluster: cluster.DefaultConfig(n), Level: experiments.NICLevel, Alg: mcp.PE, Iters: iters},
+		{Cluster: cluster.DefaultConfig(n), Level: experiments.NICLevel, Alg: mcp.GB, Dim: dim, Iters: iters},
+	}
+	for i, sp := range specs {
+		if i > 0 {
+			fmt.Println()
+		}
+		obs := experiments.MeasureBarrierObserved(sp)
+		name := fmt.Sprintf("%s-%s", sp.Level, sp.Alg)
+		if sp.Alg == mcp.GB {
+			name += fmt.Sprintf(" dim %d", sp.Dim)
+		}
+		fmt.Printf("%s, %d nodes, %d iterations: mean %.2fus\n", name, n, iters, obs.MeanMicros)
+		fmt.Print(obs.Decomp.Table())
+		fmt.Println("metrics:")
+		fmt.Print(obs.Metrics.Dump(true))
+	}
 }

@@ -1,12 +1,18 @@
-// Command gmtrace records and prints a packet-level trace of barrier
+// Command gmtrace records and prints a full-stack trace of barrier
 // traffic: every injection and delivery on the fabric during a window of
-// consecutive barriers, plus per-packet wire latencies and event counts.
-// Useful for seeing exactly what the firmware puts on the wire — the
-// simulation counterpart of a Myrinet line analyzer.
+// consecutive barriers, per-packet wire latencies, event counts, and the
+// Section 2.2 phase decomposition of the traced window — the simulation
+// counterpart of a Myrinet line analyzer with host- and firmware-side
+// probes attached.
+//
+// On multi-switch fabrics (-topo) the trace includes every switch hop, so
+// trunk crossings are visible per packet. With -chrome the whole timeline
+// is exported as Chrome trace-event JSON for Perfetto (ui.perfetto.dev).
 //
 // Usage:
 //
-//	gmtrace [-n nodes] [-alg pe|gb] [-dim D] [-level nic|host] [-barriers N] [-skip W]
+//	gmtrace [-n nodes] [-alg pe|gb] [-dim D] [-level nic|host]
+//	        [-barriers N] [-skip W] [-topo kind] [-radix R] [-chrome out.json]
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"gmsim/internal/gm"
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/sim"
 	"gmsim/internal/stats"
+	"gmsim/internal/topo"
 	"gmsim/internal/trace"
 )
 
@@ -31,6 +39,9 @@ func main() {
 	levelArg := flag.String("level", "nic", "barrier placement: nic or host")
 	barriers := flag.Int("barriers", 2, "barriers to trace")
 	skip := flag.Int("skip", 3, "warmup barriers before tracing")
+	topoArg := flag.String("topo", "single", "switch topology: single, twoswitch, star, clos2, clos3")
+	radix := flag.Int("radix", 0, "switch port count (0 = topology default)")
+	chrome := flag.String("chrome", "", "write the trace as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	alg := mcp.PE
@@ -46,10 +57,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	cl := cluster.New(cluster.DefaultConfig(*n))
-	rec := trace.NewRecorder(cl.Fabric())
+	cfg := cluster.DefaultConfig(*n)
+	if *topoArg != "single" {
+		kind, err := topo.ParseKind(*topoArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -topo: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Topology = &topo.Spec{Kind: kind, Nodes: *n, Radix: *radix}
+	} else if *radix > 0 {
+		cfg.Switch.Ports = *radix
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cl := cluster.New(cfg)
+	rec := trace.Attach(cl)
 	rec.Disable()
 	g := core.UniformGroup(*n, 2)
+	var t0, t1 sim.Time
 	cl.SpawnAll(func(p *host.Process) {
 		rank := p.Rank()
 		port, err := gm.Open(p, cl.MCP(rank), 2)
@@ -62,6 +90,7 @@ func main() {
 		}
 		for i := 0; i < *skip+*barriers; i++ {
 			if rank == 0 && i == *skip {
+				t0 = p.Now()
 				rec.Enable()
 			}
 			var err error
@@ -75,13 +104,14 @@ func main() {
 			}
 		}
 		if rank == 0 {
+			t1 = p.Now()
 			rec.Disable()
 		}
 	})
 	cl.Run()
 
-	fmt.Printf("trace: %d %s-based %s barriers, %d nodes (after %d warmup)\n\n",
-		*barriers, *levelArg, *algArg, *n, *skip)
+	fmt.Printf("trace: %d %s-based %s barriers, %d nodes on %s fabric (after %d warmup)\n\n",
+		*barriers, *levelArg, *algArg, *n, *topoArg, *skip)
 	fmt.Print(rec.Dump())
 
 	fmt.Println("\nevent counts:")
@@ -102,5 +132,49 @@ func main() {
 			s.Add(l.Latency().Micros())
 		}
 		fmt.Printf("\nwire latencies (us): %s\n", s.String())
+	}
+
+	// Switch-hop histogram; on one crossbar every packet takes one hop.
+	hopHist := map[int]int{}
+	trunk := 0
+	for _, ph := range rec.PacketHopCounts() {
+		hopHist[ph.Hops]++
+		if ph.Hops >= 2 {
+			trunk++
+		}
+	}
+	if len(hopHist) > 0 {
+		fmt.Println("\nswitch hops per packet:")
+		depths := make([]int, 0, len(hopHist))
+		for d := range hopHist {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			fmt.Printf("  %d hop(s): %d packets\n", d, hopHist[d])
+		}
+		fmt.Printf("trunk crossings: %d packets traversed 2+ switches\n", trunk)
+	}
+
+	fmt.Printf("\nSection 2.2 decomposition of the traced window at rank 0 (%d spans):\n",
+		rec.Phases().Len())
+	fmt.Print(rec.Decompose(0, t0, t1).Table())
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open at ui.perfetto.dev)\n", *chrome)
 	}
 }

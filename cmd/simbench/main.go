@@ -34,6 +34,7 @@ import (
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 	"gmsim/internal/topo"
+	"gmsim/internal/trace"
 )
 
 // Report is the schema of BENCH_sim.json.
@@ -47,6 +48,12 @@ type Report struct {
 		Events           int64   `json:"events"`
 		NsPerSchedulePop float64 `json:"ns_per_schedule_pop_depth256"`
 		NsPerCancel      float64 `json:"ns_per_cancel_depth256"`
+		// Traced: the same workload with the full-stack trace recorder
+		// attached (spans + fabric events). Simulated time is bit-identical
+		// (the overhead-guard test pins that); this tracks the wall-clock
+		// cost of recording.
+		NsPerEventTraced float64 `json:"ns_per_event_traced"`
+		TracedSpans      int     `json:"traced_spans"`
 	} `json:"engine"`
 	Figures struct {
 		Workers     int     `json:"workers"`
@@ -77,12 +84,17 @@ func main() {
 
 	// Engine throughput on a real workload: one 16-node NIC-PE barrier
 	// simulation, all events counted, single-threaded.
-	events, wall := barrierEngineRun(*iters)
+	events, wall := barrierEngineRun(*iters, false)
 	r.Engine.Events = events
 	r.Engine.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
 	r.Engine.EventsPerSec = float64(events) / wall.Seconds()
 	r.Engine.NsPerSchedulePop = schedulePopNs(256)
 	r.Engine.NsPerCancel = cancelNs(256)
+
+	// The same workload, fully traced.
+	tracedEvents, tracedWall := barrierEngineRun(*iters, true)
+	r.Engine.NsPerEventTraced = float64(tracedWall.Nanoseconds()) / float64(tracedEvents)
+	r.Engine.TracedSpans = lastTracedSpans
 
 	// Figure workload serial vs parallel.
 	r.Figures.Workers = *workers
@@ -106,6 +118,9 @@ func main() {
 
 	fmt.Printf("engine: %.1f ns/event (%.0f events/sec over %d events)\n",
 		r.Engine.NsPerEvent, r.Engine.EventsPerSec, r.Engine.Events)
+	fmt.Printf("traced: %.1f ns/event with the full-stack recorder attached (%d spans, %+.1f%%)\n",
+		r.Engine.NsPerEventTraced, r.Engine.TracedSpans,
+		100*(r.Engine.NsPerEventTraced-r.Engine.NsPerEvent)/r.Engine.NsPerEvent)
 	fmt.Printf("heap:   %.1f ns/schedule+pop, %.1f ns/cancel (depth 256)\n",
 		r.Engine.NsPerSchedulePop, r.Engine.NsPerCancel)
 	fmt.Printf("figures: serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
@@ -155,13 +170,23 @@ func topoBench(r *Report) {
 	r.Topo.Diameter = st.Diameter
 }
 
+// lastTracedSpans records the span count of the most recent traced
+// barrierEngineRun, for the report.
+var lastTracedSpans int
+
 // barrierEngineRun runs a 16-node NIC-PE barrier workload and returns the
 // number of simulator events executed and the wall time spent executing
 // them. This is the same cluster construction MeasureBarrier uses, inlined
-// so the simulator's event counter is reachable.
-func barrierEngineRun(iters int) (int64, time.Duration) {
+// so the simulator's event counter is reachable. With traced set, the
+// full-stack recorder is attached for the whole run — same simulated
+// schedule, extra bookkeeping per event.
+func barrierEngineRun(iters int, traced bool) (int64, time.Duration) {
 	const n = 16
 	cl := cluster.New(cluster.DefaultConfig(n))
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.Attach(cl)
+	}
 	g := core.UniformGroup(n, 2)
 	cl.SpawnAll(func(p *host.Process) {
 		rank := p.Rank()
@@ -181,7 +206,11 @@ func barrierEngineRun(iters int) (int64, time.Duration) {
 	})
 	t0 := time.Now()
 	cl.Run()
-	return cl.Sim().Executed(), time.Since(t0)
+	wall := time.Since(t0)
+	if traced {
+		lastTracedSpans = rec.Phases().Len()
+	}
+	return cl.Sim().Executed(), wall
 }
 
 // schedulePopNs measures one schedule+pop pair at a steady heap depth.

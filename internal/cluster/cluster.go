@@ -7,13 +7,16 @@ package cluster
 
 import (
 	"fmt"
+	"reflect"
 
 	"gmsim/internal/fault"
 	"gmsim/internal/host"
 	"gmsim/internal/lanai"
 	"gmsim/internal/mcp"
 	"gmsim/internal/network"
+	"gmsim/internal/phase"
 	"gmsim/internal/sim"
+	"gmsim/internal/stats"
 	"gmsim/internal/topo"
 )
 
@@ -82,6 +85,7 @@ type Cluster struct {
 	mcps   []*mcp.MCP
 	procs  []*host.Process
 	inj    *fault.Injector
+	phases *phase.Recorder
 }
 
 // topoSpec resolves the configuration's topology declaration: an explicit
@@ -203,6 +207,67 @@ func (c *Cluster) NIC(i int) *lanai.NIC { return c.nics[i] }
 // carried no plan.
 func (c *Cluster) Fault() *fault.Injector { return c.inj }
 
+// SetPhaseRecorder attaches one phase-span recorder to every NIC (firmware
+// processor and both DMA engines) and to every process spawned afterwards.
+// Call before SpawnAll. A nil recorder detaches the NICs (processes already
+// spawned keep their recorder). trace.Attach wires this for you.
+func (c *Cluster) SetPhaseRecorder(r *phase.Recorder) {
+	c.phases = r
+	for i, nic := range c.nics {
+		nic.SetPhaseRecorder(r, int32(i))
+	}
+}
+
+// PhaseRecorder returns the attached phase-span recorder, or nil.
+func (c *Cluster) PhaseRecorder() *phase.Recorder { return c.phases }
+
+// Metrics aggregates the cluster's always-on counters into a registry:
+// fabric packet counts, every firmware Stats field summed across NICs,
+// NIC processor and DMA engine usage, and (when a phase recorder is
+// attached) the per-phase busy-time sums in nanoseconds.
+func (c *Cluster) Metrics() *stats.Registry {
+	reg := stats.NewRegistry()
+	reg.Set("fabric.delivered", c.fabric.Delivered())
+	reg.Set("fabric.dropped", c.fabric.Dropped())
+
+	// Every mcp.Stats counter, summed across NICs. The walk is reflective
+	// so new firmware counters appear here without cluster changes.
+	for _, m := range c.mcps {
+		st := reflect.ValueOf(m.Stats())
+		tp := st.Type()
+		for i := 0; i < st.NumField(); i++ {
+			reg.Add("mcp."+tp.Field(i).Name, st.Field(i).Int())
+		}
+	}
+	var fwTasks, fwBusy, stalls int64
+	var sdmaN, sdmaB, rdmaN, rdmaB int64
+	for _, nic := range c.nics {
+		fwTasks += nic.CPUTasks()
+		fwBusy += int64(nic.CPUBusyTime())
+		stalls += nic.Stalls()
+		sdmaN += nic.SDMA().Transfers()
+		sdmaB += nic.SDMA().Bytes()
+		rdmaN += nic.RDMA().Transfers()
+		rdmaB += nic.RDMA().Bytes()
+	}
+	reg.Set("fw.tasks", fwTasks)
+	reg.Set("fw.busy_ns", fwBusy)
+	reg.Set("fw.stalls", stalls)
+	reg.Set("sdma.transfers", sdmaN)
+	reg.Set("sdma.bytes", sdmaB)
+	reg.Set("rdma.transfers", rdmaN)
+	reg.Set("rdma.bytes", rdmaB)
+
+	if c.phases != nil {
+		totals := c.phases.Totals()
+		for ph := phase.Phase(0); ph < phase.NumPhases; ph++ {
+			reg.Set("phase."+ph.String()+"_ns", int64(totals[ph]))
+		}
+		reg.Set("phase.spans", int64(c.phases.Len()))
+	}
+	return reg
+}
+
 // Spawn starts an application process on node i with the given rank.
 // The body runs in simulated time; use the returned process's methods and
 // the gm package for communication.
@@ -215,6 +280,9 @@ func (c *Cluster) Spawn(i, rank int, body func(p *host.Process)) *host.Process {
 		body(hp)
 	})
 	hp = host.NewProcess(proc, network.NodeID(i), rank, c.cfg.Host)
+	if c.phases != nil {
+		hp.SetPhaseRecorder(c.phases)
+	}
 	c.procs = append(c.procs, hp)
 	return hp
 }

@@ -10,6 +10,7 @@ import (
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 	"gmsim/internal/topo"
+	"gmsim/internal/trace"
 )
 
 // The worker pool's contract is that parallel execution changes nothing:
@@ -119,6 +120,27 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}},
 		{"CrossSwitchContention", func() any {
 			return CrossSwitchContention(6, []int{1, 2}, 1024, detIters)
+		}},
+		{"MeasureBarrierObserved", func() any {
+			// Recorders attached: the traced measurement must stay
+			// bit-identical under the worker pool too. Project the
+			// observation onto comparable values (the recorder itself
+			// holds simulator internals DeepEqual cannot compare).
+			specs := []Spec{
+				{Cluster: cluster.DefaultConfig(4), Level: NICLevel, Alg: mcp.PE, Iters: detIters},
+				{Cluster: cluster.DefaultConfig(4), Level: NICLevel, Alg: mcp.GB, Dim: 2, Iters: detIters},
+				{Cluster: cluster.DefaultConfig(4), Level: HostLevel, Alg: mcp.PE, Iters: detIters},
+			}
+			type row struct {
+				Result
+				Decomp  trace.Decomposition
+				Metrics string
+				Spans   int
+			}
+			return runner.Map(0, specs, func(s Spec) row {
+				o := MeasureBarrierObserved(s)
+				return row{o.Result, o.Decomp, o.Metrics.Dump(false), o.Rec.Phases().Len()}
+			})
 		}},
 	}
 	for _, tc := range cases {

@@ -5,6 +5,7 @@ import (
 
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/phase"
 )
 
 // Collective support: the host-side half of the Section 8 future work
@@ -18,7 +19,7 @@ func (pt *Port) ProvideCollectiveBuffer(p *host.Process) error {
 		return fmt.Errorf("gm: provide collective buffer on closed port %d", pt.num)
 	}
 	pt.collBufs++
-	p.Compute(p.Params().ProvideBufferCost)
+	p.ComputePhase(p.Params().ProvideBufferCost, phase.HostPost, "provide_coll_buf")
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostCollectiveBuffer(pt.num); err != nil && pt.open {
 			panic(fmt.Sprintf("gm: NIC rejected collective buffer: %v", err))
@@ -42,7 +43,7 @@ func (pt *Port) CollectiveSend(p *host.Process, tok *mcp.CollToken) error {
 	tok.SrcPort = pt.num
 	pt.collActive = true
 	pt.collBufs--
-	p.Compute(p.Params().BarrierPostCost)
+	p.ComputePhase(p.Params().BarrierPostCost, phase.HostPost, "gm_coll_send")
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostCollectiveToken(tok); err != nil {
 			panic(fmt.Sprintf("gm: NIC rejected collective token: %v", err))

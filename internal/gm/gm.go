@@ -17,8 +17,26 @@ import (
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
 	"gmsim/internal/mem"
+	"gmsim/internal/phase"
 	"gmsim/internal/sim"
 )
+
+// eventPhase maps a host event kind to the Section 2.2 phase its handling
+// cost belongs to: data receive work is HostRecv, send-completion
+// retirement is HostSend (tail of the send path), barrier and collective
+// completions are HostDone (Equation 2's HRecv). The split is what lets the
+// conformance tests assert a NIC-level barrier spends bit-exactly zero time
+// in HostSend/HostRecv.
+func eventPhase(k mcp.HostEventKind) phase.Phase {
+	switch k {
+	case mcp.SentEvent:
+		return phase.HostSend
+	case mcp.BarrierDoneEvent, mcp.CollDoneEvent:
+		return phase.HostDone
+	default:
+		return phase.HostRecv
+	}
+}
 
 // endpointArg aliases the endpoint type for the memory file's signatures.
 type endpointArg = mcp.Endpoint
@@ -112,7 +130,7 @@ func (pt *Port) Send(p *host.Process, dst mcp.Endpoint, data []byte, tag any) er
 	}
 	pt.sendsInFlight++
 	pt.sent++
-	p.Compute(p.Params().EffectiveSendCost())
+	p.ComputePhase(p.Params().EffectiveSendCost(), phase.HostSend, "gm_send")
 	tok := &mcp.SendToken{SrcPort: pt.num, Dst: dst, Data: data, Tag: tag}
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostSendToken(tok); err != nil {
@@ -130,7 +148,7 @@ func (pt *Port) ProvideReceiveBuffer(p *host.Process) error {
 		return fmt.Errorf("gm: provide buffer on closed port %d", pt.num)
 	}
 	pt.recvBufs++
-	p.Compute(p.Params().ProvideBufferCost)
+	p.ComputePhase(p.Params().ProvideBufferCost, phase.HostRecv, "provide_recv_buf")
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostReceiveToken(pt.num); err != nil && pt.open {
 			panic(fmt.Sprintf("gm: NIC rejected receive token: %v", err))
@@ -146,7 +164,7 @@ func (pt *Port) ProvideBarrierBuffer(p *host.Process) error {
 		return fmt.Errorf("gm: provide barrier buffer on closed port %d", pt.num)
 	}
 	pt.barrierBufs++
-	p.Compute(p.Params().ProvideBufferCost)
+	p.ComputePhase(p.Params().ProvideBufferCost, phase.HostPost, "provide_bar_buf")
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostBarrierBuffer(pt.num); err != nil && pt.open {
 			panic(fmt.Sprintf("gm: NIC rejected barrier buffer: %v", err))
@@ -173,7 +191,7 @@ func (pt *Port) BarrierSend(p *host.Process, tok *mcp.BarrierToken) error {
 	pt.barrierActive = true
 	pt.barrierBufs--
 	pt.barriers++
-	p.Compute(p.Params().BarrierPostCost)
+	p.ComputePhase(p.Params().BarrierPostCost, phase.HostPost, "gm_barrier_send")
 	pt.sim.After(p.Params().DoorbellLatency, func() {
 		if err := pt.mcp.PostBarrierToken(tok); err != nil {
 			panic(fmt.Sprintf("gm: NIC rejected barrier token: %v", err))
@@ -190,7 +208,10 @@ func (pt *Port) Receive(p *host.Process) mcp.HostEvent {
 	for len(pt.events) == 0 {
 		p.Proc().Wait(pt.sig)
 	}
-	p.Compute(p.Params().RecvDetect)
+	// The detection cost is attributed by what is being detected, so a
+	// barrier completion's uncached event-queue reads land in HostDone,
+	// not HostRecv (the charge itself is identical either way).
+	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[0].Kind), "detect")
 	return pt.consume(p)
 }
 
@@ -198,11 +219,12 @@ func (pt *Port) Receive(p *host.Process) mcp.HostEvent {
 // one poll cost; if an event is present it is consumed and returned.
 // Fuzzy-barrier loops interleave TryReceive with computation.
 func (pt *Port) TryReceive(p *host.Process) (mcp.HostEvent, bool) {
-	p.Compute(p.Params().PollCost)
 	if len(pt.events) == 0 {
+		p.ComputePhase(p.Params().PollCost, phase.HostRecv, "poll")
 		return mcp.HostEvent{}, false
 	}
-	p.Compute(p.Params().RecvDetect)
+	p.ComputePhase(p.Params().PollCost, eventPhase(pt.events[0].Kind), "poll")
+	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[0].Kind), "detect")
 	return pt.consume(p), true
 }
 
@@ -213,16 +235,16 @@ func (pt *Port) consume(p *host.Process) mcp.HostEvent {
 	switch ev.Kind {
 	case mcp.RecvEvent:
 		pt.recvBufs--
-		p.Compute(p.Params().EffectiveRecvProcess())
+		p.ComputePhase(p.Params().EffectiveRecvProcess(), phase.HostRecv, "recv_process")
 	case mcp.SentEvent:
 		pt.sendsInFlight--
-		p.Compute(p.Params().SentEvtCost)
+		p.ComputePhase(p.Params().SentEvtCost, phase.HostSend, "sent_evt")
 	case mcp.BarrierDoneEvent:
 		pt.barrierActive = false
-		p.Compute(p.Params().EffectiveRecvProcess())
+		p.ComputePhase(p.Params().EffectiveRecvProcess(), phase.HostDone, "bar_done")
 	case mcp.CollDoneEvent:
 		pt.collActive = false
-		p.Compute(p.Params().EffectiveRecvProcess())
+		p.ComputePhase(p.Params().EffectiveRecvProcess(), phase.HostDone, "coll_done")
 	}
 	return ev
 }

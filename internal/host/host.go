@@ -9,6 +9,7 @@ package host
 
 import (
 	"gmsim/internal/network"
+	"gmsim/internal/phase"
 	"gmsim/internal/sim"
 )
 
@@ -85,6 +86,10 @@ type Process struct {
 	node network.NodeID
 	rank int
 	prm  Params
+
+	// rec, when attached, receives one host-CPU span per phase-attributed
+	// charge (the gm library charges through ComputePhase). nil = untraced.
+	rec *phase.Recorder
 }
 
 // NewProcess wraps a simulation process. Cluster code normally constructs
@@ -108,8 +113,31 @@ func (p *Process) Params() Params { return p.prm }
 // Now returns the current simulated time.
 func (p *Process) Now() sim.Time { return p.proc.Now() }
 
+// SetPhaseRecorder attaches a span recorder for phase-attributed charges.
+// nil detaches (the zero-cost path).
+func (p *Process) SetPhaseRecorder(r *phase.Recorder) { p.rec = r }
+
+// PhaseRecorder returns the attached span recorder, or nil.
+func (p *Process) PhaseRecorder() *phase.Recorder { return p.rec }
+
 // Compute consumes d of host CPU time (application work).
 func (p *Process) Compute(d sim.Time) { p.proc.Advance(d) }
+
+// ComputePhase consumes d of host CPU time and, when a recorder is
+// attached, attributes the interval to the given Section 2.2 phase. The
+// simulated-time effect is identical to Compute(d) whether or not a
+// recorder is attached — recording is passive.
+func (p *Process) ComputePhase(d sim.Time, ph phase.Phase, label string) {
+	if p.rec.On() && d > 0 {
+		now := p.proc.Now()
+		p.rec.Add(phase.Span{
+			Start: now, End: now + d,
+			Phase: ph, Track: phase.TrackHost,
+			Node: int32(p.node), Peer: -1, Label: label,
+		})
+	}
+	p.proc.Advance(d)
+}
 
 // Wait parks the process on a signal.
 func (p *Process) Wait(sig *sim.Signal) { p.proc.Wait(sig) }

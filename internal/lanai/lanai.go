@@ -13,6 +13,7 @@ package lanai
 import (
 	"fmt"
 
+	"gmsim/internal/phase"
 	"gmsim/internal/sim"
 )
 
@@ -94,6 +95,11 @@ type NIC struct {
 	stalls    int64
 	stallTime sim.Time
 
+	// rec, when attached, receives one NICProc span per firmware task.
+	// A nil recorder costs one check per Exec (the zero-cost contract).
+	rec  *phase.Recorder
+	node int32
+
 	sdma *DMAEngine
 	rdma *DMAEngine
 }
@@ -104,8 +110,8 @@ func NewNIC(s *sim.Simulator, model Model) *NIC {
 		sim:   s,
 		model: model,
 		slow:  1,
-		sdma:  &DMAEngine{sim: s, params: model.SDMA},
-		rdma:  &DMAEngine{sim: s, params: model.RDMA},
+		sdma:  &DMAEngine{sim: s, params: model.SDMA, track: phase.TrackSDMA},
+		rdma:  &DMAEngine{sim: s, params: model.RDMA, track: phase.TrackRDMA},
 	}
 }
 
@@ -115,6 +121,16 @@ func (n *NIC) Sim() *sim.Simulator { return n.sim }
 // Model returns the card model.
 func (n *NIC) Model() Model { return n.model }
 
+// SetPhaseRecorder attaches a span recorder and tells the card which node
+// it sits in. Spans cover firmware tasks, stalls and DMA transfers; a nil
+// recorder detaches.
+func (n *NIC) SetPhaseRecorder(r *phase.Recorder, node int32) {
+	n.rec = r
+	n.node = node
+	n.sdma.rec, n.sdma.node, n.sdma.track = r, node, phase.TrackSDMA
+	n.rdma.rec, n.rdma.node, n.rdma.track = r, node, phase.TrackRDMA
+}
+
 // Exec schedules fn to run after the firmware processor has spent the given
 // number of cycles on it. The processor is a serial resource: if it is
 // already committed to earlier tasks, this task queues behind them (FIFO).
@@ -122,6 +138,15 @@ func (n *NIC) Model() Model { return n.model }
 // makes a slow NIC processor visible in barrier latency (the paper's
 // LANai 4.3 vs 7.2 comparison, and the 2-node GB anomaly).
 func (n *NIC) Exec(cycles int64, fn func()) {
+	n.ExecTagged(cycles, "fw", fn)
+}
+
+// ExecTagged is Exec with a span label: the firmware names the state-machine
+// step ("bar.token", "recv.pe", ...) so traces read like the paper's Figure
+// 2. Labels must be static strings; recording allocates nothing beyond the
+// span itself. The span covers the task's queued execution window
+// [start, start+dur], recorded at schedule time.
+func (n *NIC) ExecTagged(cycles int64, label string, fn func()) {
 	start := n.sim.Now()
 	if n.cpuFree > start {
 		start = n.cpuFree
@@ -133,6 +158,13 @@ func (n *NIC) Exec(cycles int64, fn func()) {
 	n.cpuFree = start + dur
 	n.cpuBusy += dur
 	n.cpuTasks++
+	if n.rec.On() {
+		n.rec.Add(phase.Span{
+			Start: start, End: n.cpuFree,
+			Phase: phase.NICProc, Track: phase.TrackFW,
+			Node: n.node, Peer: -1, Label: label,
+		})
+	}
 	n.sim.At(n.cpuFree, fn)
 }
 
@@ -151,6 +183,13 @@ func (n *NIC) Stall(d sim.Time) {
 	n.cpuFree = start + d
 	n.stalls++
 	n.stallTime += d
+	if n.rec.On() {
+		n.rec.Add(phase.Span{
+			Start: start, End: n.cpuFree,
+			Phase: phase.NICProc, Track: phase.TrackFW,
+			Node: n.node, Peer: -1, Label: "stall",
+		})
+	}
 }
 
 // SetSlowdown sets the firmware duration multiplier for subsequent Exec
@@ -197,6 +236,10 @@ type DMAEngine struct {
 	busy      sim.Time
 	transfers int64
 	bytes     int64
+
+	rec   *phase.Recorder
+	node  int32
+	track phase.Track
 }
 
 // Start schedules a transfer of n bytes; fn runs when the transfer
@@ -211,6 +254,13 @@ func (d *DMAEngine) Start(n int, fn func()) {
 	d.busy += dur
 	d.transfers++
 	d.bytes += int64(n)
+	if d.rec.On() {
+		d.rec.Add(phase.Span{
+			Start: start, End: d.free,
+			Phase: phase.DMA, Track: d.track,
+			Node: d.node, Peer: -1, Label: d.track.String(),
+		})
+	}
 	d.sim.At(d.free, fn)
 }
 

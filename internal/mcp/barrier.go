@@ -39,7 +39,7 @@ func (m *MCP) PostBarrierToken(tok *BarrierToken) error {
 	}
 	p.barrierPending = true
 	// The SDMA state machine notices the token and processes it.
-	m.nic.Exec(tokenCost, func() {
+	m.nic.ExecTagged(tokenCost, "bar.token", func() {
 		if !p.open {
 			return // port closed while the token sat in the queue
 		}
@@ -324,11 +324,11 @@ func (m *MCP) sendBarrierFrameEpoch(srcPort, epoch int, dst Endpoint, kind Frame
 		DstPort:  dst.Port,
 		SrcEpoch: epoch,
 	}
-	prep := m.cfg.Params.BarrierPrep
+	prep, label := m.cfg.Params.BarrierPrep, "bar.prep"
 	if kind == BarrierGatherFrame || kind == BarrierBcastFrame {
-		prep = m.cfg.Params.GBPrep
+		prep, label = m.cfg.Params.GBPrep, "gb.prep"
 	}
-	m.nic.Exec(prep+m.cfg.Params.SendXmit, func() {
+	m.nic.ExecTagged(prep+m.cfg.Params.SendXmit, label, func() {
 		if m.cfg.LoopbackFlag && dst.Node == m.cfg.Node {
 			// Section 3.4 optimization: two ports of the same NIC in one
 			// barrier exchange a flag instead of a packet.
@@ -356,7 +356,7 @@ func (m *MCP) sendBarrierFrameEpoch(srcPort, epoch int, dst Endpoint, kind Frame
 
 func (m *MCP) sendBarrierAck(f *Frame) {
 	seq := f.Seq
-	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+	m.nic.ExecTagged(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, "ack.gen", func() {
 		m.transmitFrame(&Frame{
 			Kind:    BarrierAckFrame,
 			SrcNode: m.cfg.Node,
@@ -389,7 +389,7 @@ func (m *MCP) retransmitBarrier(c *Connection) {
 		sb := sb
 		m.stats.BarrierResends++
 		c.retransmit++
-		m.nic.Exec(pr.Retrans+pr.SendXmit, func() { m.transmitFrame(sb.frame) })
+		m.nic.ExecTagged(pr.Retrans+pr.SendXmit, "retrans", func() { m.transmitFrame(sb.frame) })
 	}
 }
 
@@ -415,7 +415,7 @@ func (m *MCP) barrierFinish(p *Port, tok *BarrierToken) {
 	}
 	m.stats.BarrierCompleted++
 	pr := m.cfg.Params
-	m.nic.Exec(pr.BarrierComplete, func() {
+	m.nic.ExecTagged(pr.BarrierComplete, "bar.done", func() {
 		m.nic.RDMA().Start(eventRecordBytes, func() {
 			m.deliverHost(p, HostEvent{Kind: BarrierDoneEvent, Tag: tok.Tag})
 		})

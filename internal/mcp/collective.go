@@ -215,7 +215,7 @@ func (m *MCP) PostCollectiveToken(tok *CollToken) error {
 	p.collPending = true
 	pr := m.cfg.Params
 	cost := pr.BarrierToken + pr.GBToken // same token-processing path as GB
-	m.nic.Exec(cost, func() {
+	m.nic.ExecTagged(cost, "coll.token", func() {
 		if !p.open {
 			return
 		}
@@ -325,7 +325,7 @@ func (m *MCP) collFinish(p *Port, tok *CollToken, data []byte) {
 	}
 	m.stats.CollCompleted++
 	pr := m.cfg.Params
-	m.nic.Exec(pr.BarrierComplete, func() {
+	m.nic.ExecTagged(pr.BarrierComplete, "coll.done", func() {
 		m.nic.RDMA().Start(eventRecordBytes+len(data), func() {
 			m.deliverHost(p, HostEvent{Kind: CollDoneEvent, Tag: tok.Tag, Data: data})
 		})
@@ -347,7 +347,7 @@ func (m *MCP) sendCollFrame(srcPort, epoch int, dst Endpoint, kind FrameKind, da
 	}
 	pr := m.cfg.Params
 	cost := pr.CollPrep + pr.SendXmit + pr.CollPerElem*int64(len(data)/ElemBytes)
-	m.nic.Exec(cost, func() {
+	m.nic.ExecTagged(cost, "coll.prep", func() {
 		if m.cfg.ReliableBarrier {
 			c := m.conn(dst.Node)
 			f.Seq = c.barrierSendSeq

@@ -145,7 +145,7 @@ func (m *MCP) OpenPort(n int, deliver func(HostEvent)) error {
 	delete(m.pendingClosed, n)
 	for _, rec := range pend {
 		rec := rec
-		m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+		m.nic.ExecTagged(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, "bar.reject", func() {
 			m.stats.BarrierRejects++
 			m.transmitFrame(&Frame{
 				Kind:        BarrierRejectFrame,
@@ -216,9 +216,9 @@ func (m *MCP) PostSendToken(tok *SendToken) error {
 	}
 	p.sendsInFlight++
 	pr := m.cfg.Params
-	m.nic.Exec(pr.SDMAPoll, func() {
+	m.nic.ExecTagged(pr.SDMAPoll, "sdma.poll", func() {
 		m.nic.SDMA().Start(len(tok.Data), func() {
-			m.nic.Exec(pr.SDMAPrep+pr.SendXmit, func() {
+			m.nic.ExecTagged(pr.SDMAPrep+pr.SendXmit, "sdma.prep", func() {
 				c := m.conn(tok.Dst.Node)
 				f := &Frame{
 					Kind:     DataFrame,
@@ -280,7 +280,7 @@ func (m *MCP) transmitFrame(f *Frame) {
 // rewinds immediately instead of waiting out its timer.
 func (m *MCP) HandleDelivered(p *network.Packet) {
 	if p.Corrupt {
-		m.nic.Exec(m.cfg.Params.CRCCheck, func() {
+		m.nic.ExecTagged(m.cfg.Params.CRCCheck, "crc.drop", func() {
 			m.stats.CorruptDrops++
 			if f, ok := p.Payload.(*Frame); ok && f.Kind == DataFrame {
 				m.sendNack(m.conn(f.SrcNode))
@@ -296,7 +296,7 @@ func (m *MCP) HandleDelivered(p *network.Packet) {
 		// mangles): decode and CRC-check like real firmware.
 		f, err := DecodeFrame(pl)
 		if err != nil {
-			m.nic.Exec(m.cfg.Params.CRCCheck, func() { m.stats.CorruptDrops++ })
+			m.nic.ExecTagged(m.cfg.Params.CRCCheck, "crc.drop", func() { m.stats.CorruptDrops++ })
 			return
 		}
 		m.receiveFrame(f)
@@ -310,22 +310,23 @@ func (m *MCP) HandleDelivered(p *network.Packet) {
 func (m *MCP) receiveFrame(f *Frame) {
 	pr := m.cfg.Params
 	var cost int64
+	var label string
 	switch f.Kind {
 	case DataFrame:
-		cost = pr.RecvData
+		cost, label = pr.RecvData, "recv.data"
 	case AckFrame, NackFrame, BarrierAckFrame, BarrierRejectFrame:
-		cost = pr.RecvCtl
+		cost, label = pr.RecvCtl, "recv.ctl"
 	case BarrierPEFrame:
-		cost = pr.BarrierRecv
+		cost, label = pr.BarrierRecv, "recv.pe"
 	case BarrierGatherFrame, BarrierBcastFrame:
-		cost = pr.GBRecv
+		cost, label = pr.GBRecv, "recv.gb"
 	case ReduceFrame, CollBcastFrame:
-		cost = pr.GBRecv + pr.CollPerElem*int64(len(f.Data)/ElemBytes)
+		cost, label = pr.GBRecv+pr.CollPerElem*int64(len(f.Data)/ElemBytes), "recv.coll"
 	default:
 		m.stats.ProtocolErrors++
 		return
 	}
-	m.nic.Exec(cost, func() { m.handleFrame(f) })
+	m.nic.ExecTagged(cost, label, func() { m.handleFrame(f) })
 }
 
 func (m *MCP) handleFrame(f *Frame) {
@@ -382,7 +383,7 @@ func (m *MCP) handleData(f *Frame) {
 		m.sendAck(c)
 		// RDMA machine: move payload plus event record to host memory.
 		pr := m.cfg.Params
-		m.nic.Exec(pr.RDMAProc, func() {
+		m.nic.ExecTagged(pr.RDMAProc, "rdma.proc", func() {
 			m.nic.RDMA().Start(eventRecordBytes+len(f.Data), func() {
 				m.stats.DataDelivered++
 				m.deliverHost(p, HostEvent{
@@ -404,7 +405,7 @@ func (m *MCP) handleData(f *Frame) {
 func (m *MCP) sendAck(c *Connection) {
 	m.stats.AcksSent++
 	seq := c.recvSeq
-	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+	m.nic.ExecTagged(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, "ack.gen", func() {
 		m.transmitFrame(&Frame{
 			Kind:    AckFrame,
 			SrcNode: m.cfg.Node,
@@ -417,7 +418,7 @@ func (m *MCP) sendAck(c *Connection) {
 func (m *MCP) sendNoBufferNack(c *Connection) {
 	m.stats.NacksSent++
 	seq := c.recvSeq
-	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+	m.nic.ExecTagged(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, "nack.gen", func() {
 		m.transmitFrame(&Frame{
 			Kind:     NackFrame,
 			SrcNode:  m.cfg.Node,
@@ -431,7 +432,7 @@ func (m *MCP) sendNoBufferNack(c *Connection) {
 func (m *MCP) sendNack(c *Connection) {
 	m.stats.NacksSent++
 	seq := c.recvSeq
-	m.nic.Exec(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, func() {
+	m.nic.ExecTagged(m.cfg.Params.AckGen+m.cfg.Params.SendXmit, "nack.gen", func() {
 		m.transmitFrame(&Frame{
 			Kind:    NackFrame,
 			SrcNode: m.cfg.Node,
@@ -458,7 +459,7 @@ func (m *MCP) handleAck(f *Frame) {
 	for _, it := range done {
 		it := it
 		p := m.ports[it.tok.SrcPort]
-		m.nic.Exec(pr.SentEvtProc, func() {
+		m.nic.ExecTagged(pr.SentEvtProc, "sent.evt", func() {
 			m.nic.RDMA().Start(eventRecordBytes, func() {
 				if p.sendsInFlight > 0 {
 					p.sendsInFlight--
@@ -497,7 +498,7 @@ func (m *MCP) retransmitData(c *Connection) {
 		it := it
 		m.stats.Retransmissions++
 		c.retransmit++
-		m.nic.Exec(pr.Retrans+pr.SendXmit, func() { m.transmitFrame(it.frame) })
+		m.nic.ExecTagged(pr.Retrans+pr.SendXmit, "retrans", func() { m.transmitFrame(it.frame) })
 	}
 	m.rearmRetransTimer(c)
 }
@@ -645,7 +646,7 @@ func (m *MCP) failConnection(c *Connection) {
 	for _, it := range failed {
 		it := it
 		p := m.ports[it.tok.SrcPort]
-		m.nic.Exec(pr.SentEvtProc, func() {
+		m.nic.ExecTagged(pr.SentEvtProc, "sent.evt", func() {
 			m.nic.RDMA().Start(eventRecordBytes, func() {
 				if p.sendsInFlight > 0 {
 					p.sendsInFlight--

@@ -70,6 +70,15 @@ type FaultObserver interface {
 	FaultInjected(kind string, p *Packet, detail string)
 }
 
+// HopObserver is an optional extension of Observer: implementations also
+// see every switch forwarding decision, so multi-switch traces can show
+// which crossbars (and trunk crossings) a packet traversed. swID is the
+// fabric-assigned switch index, port the chosen output port. Called at the
+// instant the head leaves the switch (after RouteDelay).
+type HopObserver interface {
+	PacketForwarded(p *Packet, swID, port int)
+}
+
 // WireEncoder is implemented by payloads that can serialize themselves to
 // on-the-wire bytes. The fault layer uses it to corrupt a packet's actual
 // byte image, so the receiving firmware exercises its real decode + CRC

@@ -60,6 +60,9 @@ func (sw *Switch) headArrived(p *Packet, wire sim.Time) {
 		return
 	}
 	sw.fab.sim.After(sw.params.RouteDelay, func() {
+		if ho, ok := sw.fab.observer.(HopObserver); ok {
+			ho.PacketForwarded(p, sw.id, port)
+		}
 		sw.out[port].transmit(p)
 	})
 }

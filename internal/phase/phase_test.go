@@ -1,0 +1,110 @@
+package phase
+
+import (
+	"strings"
+	"testing"
+
+	"gmsim/internal/sim"
+)
+
+// A nil recorder is the detached fast path: every method must be safe and
+// report nothing recorded.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.On() {
+		t.Fatal("nil recorder reports on")
+	}
+	r.Enable()
+	r.Disable()
+	r.Reset()
+	r.Add(Span{Start: 0, End: 10})
+	if r.Len() != 0 || r.Spans() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	if r.Totals() != [NumPhases]sim.Time{} {
+		t.Fatal("nil recorder has totals")
+	}
+}
+
+func TestEnableDisableGate(t *testing.T) {
+	r := NewRecorder()
+	if !r.On() {
+		t.Fatal("new recorder starts disabled")
+	}
+	r.Add(Span{Start: 0, End: 5, Phase: NICProc})
+	r.Disable()
+	if r.On() {
+		t.Fatal("disabled recorder reports on")
+	}
+	r.Add(Span{Start: 5, End: 9, Phase: NICProc})
+	r.Enable()
+	r.Add(Span{Start: 9, End: 12, Phase: DMA})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (disabled span dropped)", r.Len())
+	}
+}
+
+func TestAddDropsZeroLength(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Start: 7, End: 7, Phase: Wire})
+	r.Add(Span{Start: 7, End: 3, Phase: Wire})
+	if r.Len() != 0 {
+		t.Fatalf("zero/negative-length spans recorded: %d", r.Len())
+	}
+}
+
+func TestTotalsSumPerPhase(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Start: 0, End: 10, Phase: HostSend})
+	r.Add(Span{Start: 20, End: 25, Phase: HostSend})
+	r.Add(Span{Start: 5, End: 9, Phase: Wire})
+	tot := r.Totals()
+	if tot[HostSend] != 15 || tot[Wire] != 4 || tot[NICProc] != 0 {
+		t.Fatalf("totals = %v", tot)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Start: 0, End: 1, Phase: DMA})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset left spans")
+	}
+	if !r.On() {
+		t.Fatal("Reset disabled the recorder")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for ph := Phase(0); ph <= NumPhases; ph++ {
+		if strings.HasPrefix(ph.String(), "phase(") {
+			t.Fatalf("phase %d has no name", ph)
+		}
+	}
+	if NumPhases.String() != "Idle" {
+		t.Fatalf("NumPhases renders %q, want Idle", NumPhases.String())
+	}
+	if Phase(99).String() != "phase(99)" {
+		t.Fatal("unknown phase string")
+	}
+	for tr := TrackHost; tr <= TrackWire; tr++ {
+		if strings.HasPrefix(tr.String(), "track(") {
+			t.Fatalf("track %d has no name", tr)
+		}
+	}
+	if Track(99).String() != "track(99)" {
+		t.Fatal("unknown track string")
+	}
+	s := Span{Start: 1000, End: 3000, Phase: Wire, Track: TrackWire, Node: 1, Peer: 2, Label: "wire.pe"}
+	if !strings.Contains(s.String(), "wire.pe") || !strings.Contains(s.String(), "->2") {
+		t.Fatalf("span string %q", s.String())
+	}
+	s.Peer = -1
+	if strings.Contains(s.String(), "->") {
+		t.Fatalf("peerless span renders peer: %q", s.String())
+	}
+	if s.Dur() != 2000 {
+		t.Fatalf("dur = %v", s.Dur())
+	}
+}

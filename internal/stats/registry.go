@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry is a lightweight always-on metrics registry: named int64
+// counters with insertion-ordered dumps. Cluster code aggregates firmware,
+// fabric and phase counters into one so `barrierbench -metrics` (and any
+// experiment) can dump a consistent snapshot without reaching into every
+// subsystem.
+type Registry struct {
+	names []string
+	vals  map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vals: make(map[string]int64)}
+}
+
+// Add increments (or creates) the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if _, ok := r.vals[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vals[name] += delta
+}
+
+// Set replaces (or creates) the named counter.
+func (r *Registry) Set(name string, v int64) {
+	if _, ok := r.vals[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vals[name] = v
+}
+
+// Get returns the named counter (0 if absent).
+func (r *Registry) Get(name string) int64 { return r.vals[name] }
+
+// Has reports whether the counter exists.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.vals[name]
+	return ok
+}
+
+// Names returns the counter names in insertion order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// SortedNames returns the counter names sorted lexically.
+func (r *Registry) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Dump renders the registry as aligned "name value" lines in insertion
+// order, skipping zero counters when skipZero is set (firmware stats have
+// dozens of fields; a barrier run touches a handful).
+func (r *Registry) Dump(skipZero bool) string {
+	width := 0
+	for _, n := range r.names {
+		if skipZero && r.vals[n] == 0 {
+			continue
+		}
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, n := range r.names {
+		if skipZero && r.vals[n] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s %d\n", width, n, r.vals[n])
+	}
+	return b.String()
+}
+
+func (r *Registry) String() string { return r.Dump(true) }

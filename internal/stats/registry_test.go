@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryAddSetGet(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 2)
+	r.Add("a", 3)
+	r.Set("b", 7)
+	r.Set("b", 9)
+	if r.Get("a") != 5 || r.Get("b") != 9 {
+		t.Fatalf("a=%d b=%d", r.Get("a"), r.Get("b"))
+	}
+	if r.Get("missing") != 0 || r.Has("missing") {
+		t.Fatal("missing counter misreported")
+	}
+	if !r.Has("a") {
+		t.Fatal("Has(a) false")
+	}
+}
+
+func TestRegistryNameOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Set("zebra", 1)
+	r.Add("alpha", 1)
+	r.Set("mid", 1)
+	if got := r.Names(); got[0] != "zebra" || got[1] != "alpha" || got[2] != "mid" {
+		t.Fatalf("insertion order lost: %v", got)
+	}
+	if got := r.SortedNames(); got[0] != "alpha" || got[2] != "zebra" {
+		t.Fatalf("sorted order wrong: %v", got)
+	}
+	// Re-adding must not duplicate the name.
+	r.Add("alpha", 1)
+	if len(r.Names()) != 3 {
+		t.Fatalf("names = %v", r.Names())
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Set("live", 42)
+	r.Set("dead", 0)
+	full := r.Dump(false)
+	if !strings.Contains(full, "live") || !strings.Contains(full, "dead") {
+		t.Fatalf("full dump missing lines:\n%s", full)
+	}
+	skinny := r.String()
+	if strings.Contains(skinny, "dead") {
+		t.Fatalf("skipZero dump kept zero counter:\n%s", skinny)
+	}
+	if !strings.Contains(skinny, "live 42") {
+		t.Fatalf("dump misformatted:\n%s", skinny)
+	}
+}

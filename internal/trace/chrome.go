@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gmsim/internal/phase"
+)
+
+// wirePID is the Chrome-trace process id of the synthetic "wire" process.
+// Node pids are node+1 (pid 0 renders oddly in Perfetto), so any constant
+// far above a plausible node count is safe.
+const wirePID = 1000000
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing ingest). Ts and Dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the recording as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each node becomes a
+// process with one thread per hardware track (host, fw, sdma, rdma); a
+// synthetic "wire" process holds one thread per (src, dst) pair carrying
+// the wire spans, with fabric events (inject, deliver, drop, hop, fault)
+// as instants on the matching thread.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var evs []chromeEvent
+
+	// Discover node pids/tracks and wire pairs first so metadata events
+	// lead the file and thread ids are assigned deterministically.
+	nodeTracks := make(map[int32]map[phase.Track]bool)
+	type pair struct{ src, dst int32 }
+	pairSet := make(map[pair]bool)
+	for _, s := range r.phases.Spans() {
+		if s.Track == phase.TrackWire {
+			pairSet[pair{s.Node, s.Peer}] = true
+			continue
+		}
+		if nodeTracks[s.Node] == nil {
+			nodeTracks[s.Node] = make(map[phase.Track]bool)
+		}
+		nodeTracks[s.Node][s.Track] = true
+	}
+	for _, e := range r.events {
+		pairSet[pair{int32(e.Src), int32(e.Dst)}] = true
+	}
+
+	var nodes []int32
+	for n := range nodeTracks {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		pid := int(n) + 1
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+		for t := phase.TrackHost; t <= phase.TrackRDMA; t++ {
+			if nodeTracks[n][t] {
+				evs = append(evs, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: int(t),
+					Args: map[string]any{"name": t.String()},
+				})
+			}
+		}
+	}
+
+	var pairs []pair
+	for p := range pairSet {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	pairTid := make(map[pair]int, len(pairs))
+	if len(pairs) > 0 {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: wirePID,
+			Args: map[string]any{"name": "wire"},
+		})
+		for i, p := range pairs {
+			tid := i + 1
+			pairTid[p] = tid
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: wirePID, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("%d->%d", p.src, p.dst)},
+			})
+		}
+	}
+
+	for _, s := range r.phases.Spans() {
+		ev := chromeEvent{
+			Name: s.Label, Ph: "X", Cat: s.Phase.String(),
+			Ts: s.Start.Micros(), Dur: s.Dur().Micros(),
+		}
+		if s.Track == phase.TrackWire {
+			ev.Pid = wirePID
+			ev.Tid = pairTid[pair{s.Node, s.Peer}]
+		} else {
+			ev.Pid = int(s.Node) + 1
+			ev.Tid = int(s.Track)
+		}
+		evs = append(evs, ev)
+	}
+
+	for _, e := range r.events {
+		name := fmt.Sprintf("%s %v", e.Kind, e.Frame)
+		if e.Reason != "" {
+			name += " " + e.Reason
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Ph: "i", Cat: e.Kind.String(),
+			Ts: e.At.Micros(), Scope: "t",
+			Pid: wirePID, Tid: pairTid[pair{int32(e.Src), int32(e.Dst)}],
+			Args: map[string]any{"seq": e.Seq, "size": e.Size},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}

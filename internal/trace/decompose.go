@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gmsim/internal/phase"
+	"gmsim/internal/sim"
+)
+
+// Decomposition is a Section 2.2 latency breakdown of one time window as
+// seen from one node. Critical partitions the window exactly: every
+// nanosecond of [Start, End) is attributed to precisely one phase (or to
+// Idle), so the entries sum bit-exactly to End-Start — the conservation
+// invariant the conformance tests pin. When spans overlap (firmware
+// processing concurrent with a DMA transfer, say), the nanosecond goes to
+// the highest-priority phase, which is the phase.Phase enum order.
+type Decomposition struct {
+	// Node is the vantage point: spans owned by this node, plus wire spans
+	// arriving at it, drive the Critical partition.
+	Node int
+	// Start and End bound the decomposed window.
+	Start, End sim.Time
+	// Critical partitions [Start, End). Index phase.NumPhases is Idle —
+	// time during which no span at this node was active.
+	Critical [phase.NumPhases + 1]sim.Time
+	// Totals are cluster-wide raw busy-time sums per phase, clipped to the
+	// window. Overlapping spans all count, so these can exceed Elapsed.
+	Totals [phase.NumPhases]sim.Time
+	// Spans is the number of recorded spans overlapping the window
+	// (cluster-wide).
+	Spans int
+}
+
+// Elapsed returns the window length.
+func (d Decomposition) Elapsed() sim.Time { return d.End - d.Start }
+
+// CriticalSum sums the Critical partition including Idle. It equals
+// Elapsed by construction; tests assert the equality bit-exactly.
+func (d Decomposition) CriticalSum() sim.Time {
+	var sum sim.Time
+	for _, v := range d.Critical {
+		sum += v
+	}
+	return sum
+}
+
+// Idle returns the unattributed part of the window.
+func (d Decomposition) Idle() sim.Time { return d.Critical[phase.NumPhases] }
+
+// HostCritical sums the host-CPU phases of the Critical partition.
+func (d Decomposition) HostCritical() sim.Time {
+	return d.Critical[phase.HostSend] + d.Critical[phase.HostRecv] +
+		d.Critical[phase.HostPost] + d.Critical[phase.HostDone]
+}
+
+// Table renders the decomposition as an aligned text table, one phase per
+// line, with the share of the window and the cluster-wide total.
+func (d Decomposition) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d  window [%v, %v]  elapsed %v  spans %d\n",
+		d.Node, d.Start, d.End, d.Elapsed(), d.Spans)
+	fmt.Fprintf(&b, "%-10s %12s %7s %14s\n", "phase", "critical", "share", "cluster-total")
+	for ph := phase.Phase(0); ph <= phase.NumPhases; ph++ {
+		crit := d.Critical[ph]
+		share := 0.0
+		if d.Elapsed() > 0 {
+			share = 100 * float64(crit) / float64(d.Elapsed())
+		}
+		if ph == phase.NumPhases {
+			fmt.Fprintf(&b, "%-10s %12v %6.1f%%\n", ph, crit, share)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %12v %6.1f%% %14v\n", ph, crit, share, d.Totals[ph])
+	}
+	return b.String()
+}
+
+// Decompose attributes the window [t0, t1) at the given node to the
+// Section 2.2 phases. A span belongs to the node when the node owns it or
+// is the wire span's destination. The attribution is a boundary sweep:
+// per-phase active counts change only at span edges, and each slice
+// between consecutive edges is charged to the highest-priority active
+// phase, or to Idle when none is. The partition is exact by construction,
+// so Critical sums to t1-t0 with no rounding — simulated time is discrete.
+//
+// On a fabric-only recorder (no phase spans), the whole window is Idle.
+func (r *Recorder) Decompose(node int, t0, t1 sim.Time) Decomposition {
+	d := Decomposition{Node: node, Start: t0, End: t1}
+	if t1 <= t0 {
+		d.End = t0
+		return d
+	}
+
+	type edge struct {
+		at    sim.Time
+		ph    phase.Phase
+		delta int
+	}
+	var edges []edge
+	nd := int32(node)
+	for _, s := range r.phases.Spans() {
+		// Clip to the window; spans fully outside contribute nothing.
+		lo, hi := s.Start, s.End
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		if hi <= lo {
+			continue
+		}
+		d.Spans++
+		d.Totals[s.Phase] += hi - lo
+		if s.Node == nd || s.Peer == nd {
+			edges = append(edges, edge{lo, s.Phase, +1}, edge{hi, s.Phase, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+
+	var active [phase.NumPhases]int
+	charge := func(lo, hi sim.Time) {
+		if hi <= lo {
+			return
+		}
+		for ph := phase.Phase(0); ph < phase.NumPhases; ph++ {
+			if active[ph] > 0 {
+				d.Critical[ph] += hi - lo
+				return
+			}
+		}
+		d.Critical[phase.NumPhases] += hi - lo
+	}
+	prev := t0
+	for i := 0; i < len(edges); {
+		at := edges[i].at
+		charge(prev, at)
+		for ; i < len(edges) && edges[i].at == at; i++ {
+			active[edges[i].ph] += edges[i].delta
+		}
+		prev = at
+	}
+	charge(prev, t1)
+	return d
+}

@@ -2,14 +2,24 @@
 // inspected at packet granularity: per-message wire latencies, event
 // timelines, and Figure-2 style reconstructions of what the NIC actually
 // did during a barrier.
+//
+// Attached to a cluster (Attach), the recorder additionally collects
+// full-stack phase spans — host API costs, firmware tasks, DMA transfers,
+// and wire segments synthesized from inject/deliver pairs — attributed to
+// the paper's Section 2.2 terms. Decompose folds the spans into a
+// per-phase latency breakdown whose parts sum bit-exactly to the measured
+// window, and WriteChrome exports the whole timeline as Chrome
+// trace-event JSON for Perfetto.
 package trace
 
 import (
 	"fmt"
 	"strings"
 
+	"gmsim/internal/cluster"
 	"gmsim/internal/mcp"
 	"gmsim/internal/network"
+	"gmsim/internal/phase"
 	"gmsim/internal/sim"
 )
 
@@ -27,6 +37,10 @@ const (
 	// corrupted, truncated or duplicated, a NIC stalled. The Reason field
 	// carries the fault kind and detail.
 	Fault
+	// Hop: a switch forwarded a packet head out of one of its ports. The
+	// Reason field carries "swS:pP"; on a multi-switch fabric a packet
+	// whose trace shows two or more hops crossed a trunk.
+	Hop
 )
 
 func (k Kind) String() string {
@@ -39,6 +53,8 @@ func (k Kind) String() string {
 		return "drop"
 	case Fault:
 		return "fault"
+	case Hop:
+		return "hop"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -68,9 +84,16 @@ type Recorder struct {
 	events  []Event
 	enabled bool
 	filter  func(Event) bool
+
+	// phases collects full-stack spans when the recorder was installed
+	// with Attach; nil for fabric-only recorders (NewRecorder).
+	phases *phase.Recorder
+	// injectAt pairs in-flight packets with their injection time so a
+	// delivery can synthesize the wire span.
+	injectAt map[*network.Packet]sim.Time
 }
 
-// NewRecorder creates a recorder and installs it on the fabric.
+// NewRecorder creates a fabric-only recorder and installs it on the fabric.
 // Recording starts enabled.
 func NewRecorder(f *network.Fabric) *Recorder {
 	r := &Recorder{sim: f.Sim(), enabled: true}
@@ -78,15 +101,43 @@ func NewRecorder(f *network.Fabric) *Recorder {
 	return r
 }
 
+// Attach creates a full-stack recorder on a cluster: fabric events plus
+// phase spans from every host process, firmware processor, DMA engine and
+// wire segment. Call before SpawnAll so processes pick up the recorder.
+// Recording starts enabled; a disabled (or detached) recorder leaves
+// simulated time bit-identical to an untraced run.
+func Attach(cl *cluster.Cluster) *Recorder {
+	r := NewRecorder(cl.Fabric())
+	r.phases = phase.NewRecorder()
+	r.injectAt = make(map[*network.Packet]sim.Time)
+	cl.SetPhaseRecorder(r.phases)
+	return r
+}
+
+// Phases returns the attached phase recorder (nil for fabric-only
+// recorders).
+func (r *Recorder) Phases() *phase.Recorder { return r.phases }
+
 // Enable and Disable gate recording (e.g. record only the steady state).
-func (r *Recorder) Enable()  { r.enabled = true }
-func (r *Recorder) Disable() { r.enabled = false }
+// Both gates toggle together: fabric events and phase spans.
+func (r *Recorder) Enable() {
+	r.enabled = true
+	r.phases.Enable()
+}
+
+func (r *Recorder) Disable() {
+	r.enabled = false
+	r.phases.Disable()
+}
 
 // SetFilter installs a predicate; events it rejects are not recorded.
 func (r *Recorder) SetFilter(fn func(Event) bool) { r.filter = fn }
 
-// Reset discards recorded events.
-func (r *Recorder) Reset() { r.events = nil }
+// Reset discards recorded events and spans.
+func (r *Recorder) Reset() {
+	r.events = nil
+	r.phases.Reset()
+}
 
 // Events returns the recorded events in time order.
 func (r *Recorder) Events() []Event { return r.events }
@@ -126,13 +177,72 @@ func (r *Recorder) record(kind Kind, p *network.Packet, reason string) {
 }
 
 // PacketInjected implements network.Observer.
-func (r *Recorder) PacketInjected(p *network.Packet) { r.record(Inject, p, "") }
+func (r *Recorder) PacketInjected(p *network.Packet) {
+	r.record(Inject, p, "")
+	if r.phases.On() {
+		r.injectAt[p] = r.sim.Now()
+	}
+}
 
-// PacketDelivered implements network.Observer.
-func (r *Recorder) PacketDelivered(p *network.Packet) { r.record(Deliver, p, "") }
+// PacketDelivered implements network.Observer. On a full-stack recorder
+// the inject->deliver pair becomes one Wire span (serialization +
+// propagation + switching, charged to the source node with the
+// destination as peer).
+func (r *Recorder) PacketDelivered(p *network.Packet) {
+	r.record(Deliver, p, "")
+	if r.injectAt != nil {
+		if t0, ok := r.injectAt[p]; ok {
+			delete(r.injectAt, p)
+			r.phases.Add(phase.Span{
+				Start: t0, End: r.sim.Now(),
+				Phase: phase.Wire, Track: phase.TrackWire,
+				Node: int32(p.Src), Peer: int32(p.Dst),
+				Label: wireLabel(p),
+			})
+		}
+	}
+}
 
 // PacketDropped implements network.Observer.
-func (r *Recorder) PacketDropped(p *network.Packet, reason string) { r.record(Drop, p, reason) }
+func (r *Recorder) PacketDropped(p *network.Packet, reason string) {
+	r.record(Drop, p, reason)
+	if r.injectAt != nil {
+		delete(r.injectAt, p)
+	}
+}
+
+// PacketForwarded implements network.HopObserver: switch forwarding
+// decisions appear in the timeline, so multi-switch traces show trunk
+// crossings.
+func (r *Recorder) PacketForwarded(p *network.Packet, swID, port int) {
+	if !r.enabled {
+		return
+	}
+	r.record(Hop, p, fmt.Sprintf("sw%d:p%d", swID, port))
+}
+
+// wireLabel names a wire span by its frame kind. Static strings: span
+// recording must not allocate per packet.
+func wireLabel(p *network.Packet) string {
+	f, ok := p.Payload.(*mcp.Frame)
+	if !ok {
+		return "wire"
+	}
+	switch f.Kind {
+	case mcp.DataFrame:
+		return "wire.data"
+	case mcp.BarrierPEFrame:
+		return "wire.pe"
+	case mcp.BarrierGatherFrame:
+		return "wire.gather"
+	case mcp.BarrierBcastFrame:
+		return "wire.bcast"
+	case mcp.ReduceFrame, mcp.CollBcastFrame:
+		return "wire.coll"
+	default:
+		return "wire.ctl"
+	}
+}
 
 // FaultInjected implements network.FaultObserver: fault-layer actions show
 // up in the timeline alongside the traffic they disturb. p may be nil for
@@ -200,6 +310,32 @@ func (r *Recorder) WireLatencies() []WireLatency {
 				})
 				delete(injected, e.packet)
 			}
+		}
+	}
+	return out
+}
+
+// PacketHops summarizes the switch path of one traced packet.
+type PacketHops struct {
+	Src, Dst network.NodeID
+	Frame    mcp.FrameKind
+	Hops     int
+}
+
+// PacketHopCounts groups hop events by packet, in injection order. On a
+// multi-switch fabric a count of two or more means the packet crossed a
+// trunk; on a single crossbar every packet shows exactly one hop.
+func (r *Recorder) PacketHopCounts() []PacketHops {
+	hops := make(map[*network.Packet]int)
+	for _, e := range r.events {
+		if e.Kind == Hop {
+			hops[e.packet]++
+		}
+	}
+	var out []PacketHops
+	for _, e := range r.events {
+		if e.Kind == Inject {
+			out = append(out, PacketHops{Src: e.Src, Dst: e.Dst, Frame: e.Frame, Hops: hops[e.packet]})
 		}
 	}
 	return out
