@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench cover figures examples clean
+.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures examples clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-check the conservative parallel engine and everything that feeds it:
+# the window scheduler (sim.Group), the worker pool, and the partitioned
+# cluster determinism matrix. CI runs this on every push; the full `race`
+# target above covers the rest of the tree.
+race-partition:
+	$(GO) test -race -count=1 -run 'Partition|TieBreak|Group|Pool' \
+		./internal/sim ./internal/runner ./internal/cluster ./internal/network ./internal/topo
 
 # Short fuzzing pass over the wire codec and the duplicate-suppression
 # window (go's fuzzer allows one target per invocation). Checked-in seed
@@ -64,8 +72,17 @@ figures:
 # is the machine-readable perf trajectory (events/sec, ns/event, figures
 # wall-clock serial vs parallel) that future PRs compare against.
 bench:
+	$(GO) test -run 'TestZeroAlloc' -count=1 -v ./internal/sim
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/simbench -json BENCH_sim.json
+
+# Compare a candidate BENCH_sim.json against a baseline and fail on >10%
+# regression in the gated engine metrics. CI generates the two reports from
+# the PR base and head; locally: make benchgate BASE=old.json HEAD=BENCH_sim.json
+BASE ?= BENCH_sim.json
+HEAD ?= BENCH_sim.json
+benchgate:
+	$(GO) run ./cmd/benchgate -base $(BASE) -head $(HEAD)
 
 examples:
 	$(GO) run ./examples/quickstart

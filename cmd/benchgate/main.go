@@ -1,0 +1,101 @@
+// Command benchgate compares two BENCH_sim.json reports (as written by
+// cmd/simbench) and fails when the head report regresses a gated metric by
+// more than a threshold. CI runs it with the base branch's report against
+// the PR head's to keep the engine's perf trajectory monotone.
+//
+// Gated metrics are all "lower is better" nanosecond costs:
+// engine.ns_per_event, engine.ns_per_schedule_pop_depth256, and
+// engine.ns_per_cancel_depth256. Wall-clock figure timings are reported
+// but not gated — they depend on machine load and core count far more
+// than on the code.
+//
+// Usage:
+//
+//	benchgate -base old.json -head new.json [-threshold 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// metrics holds only the gated subset of the simbench report; unknown
+// fields in the JSON are ignored so the gate tolerates schema growth.
+type metrics struct {
+	Engine struct {
+		NsPerEvent       float64 `json:"ns_per_event"`
+		NsPerSchedulePop float64 `json:"ns_per_schedule_pop_depth256"`
+		NsPerCancel      float64 `json:"ns_per_cancel_depth256"`
+	} `json:"engine"`
+}
+
+func load(path string) (metrics, error) {
+	var m metrics
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline BENCH_sim.json (required)")
+	headPath := flag.String("head", "", "candidate BENCH_sim.json (required)")
+	threshold := flag.Float64("threshold", 0.10, "max allowed fractional regression (0.10 = 10%)")
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	head, err := load(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	type gate struct {
+		name       string
+		base, head float64
+	}
+	gates := []gate{
+		{"engine.ns_per_event", base.Engine.NsPerEvent, head.Engine.NsPerEvent},
+		{"engine.ns_per_schedule_pop_depth256", base.Engine.NsPerSchedulePop, head.Engine.NsPerSchedulePop},
+		{"engine.ns_per_cancel_depth256", base.Engine.NsPerCancel, head.Engine.NsPerCancel},
+	}
+	failed := false
+	for _, g := range gates {
+		switch {
+		case g.base <= 0 && g.head <= 0:
+			fmt.Printf("SKIP %-38s absent in both reports\n", g.name)
+		case g.base <= 0:
+			fmt.Printf("NEW  %-38s head %.1f ns (no baseline)\n", g.name, g.head)
+		case g.head <= 0:
+			fmt.Printf("FAIL %-38s present in base (%.1f ns) but missing from head\n", g.name, g.base)
+			failed = true
+		default:
+			delta := (g.head - g.base) / g.base
+			verdict := "ok  "
+			if delta > *threshold {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-38s base %8.1f ns  head %8.1f ns  %+.1f%%\n",
+				verdict, g.name, g.base, g.head, 100*delta)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: regression beyond %.0f%% threshold\n", 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated metrics within %.0f%% of baseline\n", 100**threshold)
+}

@@ -9,11 +9,15 @@
 //   - schedule/pop and cancel micro-costs of the event heap;
 //   - figures: wall-clock of a representative figure workload (Figure 5a +
 //     the scale sweep) run serially and on the full worker pool, and the
-//     resulting speedup.
+//     resulting speedup (reported as null when only one core is available,
+//     where a "speedup" would just measure scheduling noise);
+//   - partitioned: the conservative parallel engine on a 1024-node
+//     fat-tree, serial vs -partitions P, with the window/post counts.
 //
 // Usage:
 //
-//	simbench [-json BENCH_sim.json] [-iters N] [-workers W]
+//	simbench [-json BENCH_sim.json] [-iters N] [-workers W] [-partitions P]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gmsim/internal/cluster"
@@ -56,11 +61,30 @@ type Report struct {
 		TracedSpans      int     `json:"traced_spans"`
 	} `json:"engine"`
 	Figures struct {
-		Workers     int     `json:"workers"`
-		SerialSec   float64 `json:"serial_sec"`
-		ParallelSec float64 `json:"parallel_sec"`
-		Speedup     float64 `json:"speedup"`
+		Workers   int     `json:"workers"`
+		SerialSec float64 `json:"serial_sec"`
+		// ParallelSec and Speedup are null when GOMAXPROCS == 1: with one
+		// core the "parallel" run measures goroutine scheduling overhead,
+		// not speedup, and recording a ~1.0 figure misleads readers into
+		// thinking parallelism was exercised.
+		ParallelSec *float64 `json:"parallel_sec"`
+		Speedup     *float64 `json:"speedup"`
 	} `json:"figures"`
+	// Partitioned reports the conservative parallel engine (sim.Group) on
+	// a 1024-node radix-16 fat-tree barrier run.
+	Partitioned struct {
+		Nodes      int     `json:"nodes"`
+		Partitions int     `json:"partitions"`
+		SerialSec  float64 `json:"serial_sec"`
+		// PartitionedSec is measured on min(partitions, GOMAXPROCS)
+		// workers; Speedup is null when GOMAXPROCS == 1 (the 1-worker
+		// partitioned run then tracks pure synchronization overhead).
+		PartitionedSec float64  `json:"partitioned_sec"`
+		Workers        int      `json:"workers"`
+		Speedup        *float64 `json:"speedup"`
+		Windows        int64    `json:"windows"`
+		CrossPosts     int64    `json:"cross_posts"`
+	} `json:"partitioned"`
 	Topo struct {
 		Nodes        int     `json:"nodes"`
 		Switches     int     `json:"switches"`
@@ -75,7 +99,38 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_sim.json", "output path ('' to skip writing)")
 	iters := flag.Int("iters", 60, "timed barrier iterations per measurement")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for the parallel figures run")
+	partitions := flag.Int("partitions", 8, "partition count for the parallel-engine measurement (<2 skips it)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+			}
+		}()
+	}
 
 	var r Report
 	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
@@ -96,7 +151,9 @@ func main() {
 	r.Engine.NsPerEventTraced = float64(tracedWall.Nanoseconds()) / float64(tracedEvents)
 	r.Engine.TracedSpans = lastTracedSpans
 
-	// Figure workload serial vs parallel.
+	// Figure workload serial vs parallel. On a single-core host the
+	// parallel run cannot speed anything up — record the cores and leave
+	// the speedup null rather than reporting scheduler noise as ~1.0x.
 	r.Figures.Workers = *workers
 	figures := func() {
 		experiments.Figure5a(*iters)
@@ -106,11 +163,19 @@ func main() {
 	t0 := time.Now()
 	figures()
 	r.Figures.SerialSec = time.Since(t0).Seconds()
-	runner.SetDefault(*workers)
-	t0 = time.Now()
-	figures()
-	r.Figures.ParallelSec = time.Since(t0).Seconds()
-	r.Figures.Speedup = r.Figures.SerialSec / r.Figures.ParallelSec
+	if r.GOMAXPROCS > 1 && *workers > 1 {
+		runner.SetDefault(*workers)
+		t0 = time.Now()
+		figures()
+		par := time.Since(t0).Seconds()
+		sp := r.Figures.SerialSec / par
+		r.Figures.ParallelSec, r.Figures.Speedup = &par, &sp
+	}
+
+	// The conservative parallel engine at scale.
+	if *partitions > 1 {
+		partitionedBench(&r, *partitions)
+	}
 
 	// Topology construction and routing cost: the 1024-node radix-16
 	// fat-tree, built from scratch and fully routed (one BFS per source).
@@ -123,8 +188,25 @@ func main() {
 		100*(r.Engine.NsPerEventTraced-r.Engine.NsPerEvent)/r.Engine.NsPerEvent)
 	fmt.Printf("heap:   %.1f ns/schedule+pop, %.1f ns/cancel (depth 256)\n",
 		r.Engine.NsPerSchedulePop, r.Engine.NsPerCancel)
-	fmt.Printf("figures: serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
-		r.Figures.SerialSec, r.Figures.ParallelSec, r.Figures.Workers, r.Figures.Speedup)
+	if r.Figures.Speedup != nil {
+		fmt.Printf("figures: serial %.2fs, parallel %.2fs on %d workers (%.2fx)\n",
+			r.Figures.SerialSec, *r.Figures.ParallelSec, r.Figures.Workers, *r.Figures.Speedup)
+	} else {
+		fmt.Printf("figures: serial %.2fs (GOMAXPROCS=%d; parallel speedup not measurable)\n",
+			r.Figures.SerialSec, r.GOMAXPROCS)
+	}
+	if r.Partitioned.Partitions > 1 {
+		if r.Partitioned.Speedup != nil {
+			fmt.Printf("partitioned: %d nodes / %d partitions: serial %.2fs, partitioned %.2fs on %d workers (%.2fx, %d windows, %d cross posts)\n",
+				r.Partitioned.Nodes, r.Partitioned.Partitions, r.Partitioned.SerialSec,
+				r.Partitioned.PartitionedSec, r.Partitioned.Workers, *r.Partitioned.Speedup,
+				r.Partitioned.Windows, r.Partitioned.CrossPosts)
+		} else {
+			fmt.Printf("partitioned: %d nodes / %d partitions: serial %.2fs, partitioned %.2fs on 1 worker (overhead only; %d windows, %d cross posts)\n",
+				r.Partitioned.Nodes, r.Partitioned.Partitions, r.Partitioned.SerialSec,
+				r.Partitioned.PartitionedSec, r.Partitioned.Windows, r.Partitioned.CrossPosts)
+		}
+	}
 	fmt.Printf("topo:   %d-node clos3 (%d switches, diameter %d): build %.2fms, route table %.0fms (%.0f routes/sec)\n",
 		r.Topo.Nodes, r.Topo.Switches, r.Topo.Diameter,
 		r.Topo.BuildMs, r.Topo.RouteTableMs, r.Topo.RoutesPerSec)
@@ -140,6 +222,61 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+// partitionedBench measures the conservative parallel engine: the same
+// 1024-node fat-tree barrier run on the serial engine and split into
+// partitions. Simulated results are bit-identical (the determinism guard
+// in internal/experiments pins that); this records wall time and the
+// synchronization cost (windows, cross-partition posts).
+func partitionedBench(r *Report, partitions int) {
+	const nodes, radix, iters = 1024, 16, 2
+	run := func(parts, workers int) (time.Duration, *cluster.Cluster) {
+		cfg := cluster.DefaultConfig(nodes)
+		cfg.Topology = &topo.Spec{Kind: topo.Clos3, Radix: radix}
+		cfg.Switch.Ports = radix
+		cfg.ReliableBarrier = true
+		cfg.Partitions = parts
+		cl := cluster.New(cfg)
+		g := core.UniformGroup(nodes, 2)
+		leafOf := cl.Topology().LeafOf()
+		cl.SpawnAll(func(p *host.Process) {
+			rank := p.Rank()
+			port, err := gm.Open(p, cl.MCP(rank), 2)
+			if err != nil {
+				panic(err)
+			}
+			comm, err := core.NewComm(p, port, 4*nodes+16)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < iters; i++ {
+				if err := comm.BarrierMapped(p, mcp.PE, g, rank, 0, leafOf); err != nil {
+					panic(err)
+				}
+			}
+		})
+		t0 := time.Now()
+		cl.RunWorkers(workers)
+		return time.Since(t0), cl
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > partitions {
+		workers = partitions
+	}
+	serialWall, _ := run(1, 1)
+	partWall, cl := run(partitions, workers)
+	r.Partitioned.Nodes = nodes
+	r.Partitioned.Partitions = partitions
+	r.Partitioned.SerialSec = serialWall.Seconds()
+	r.Partitioned.PartitionedSec = partWall.Seconds()
+	r.Partitioned.Workers = workers
+	r.Partitioned.Windows = cl.Group().Windows()
+	r.Partitioned.CrossPosts = cl.Group().Posts()
+	if runtime.GOMAXPROCS(0) > 1 {
+		sp := serialWall.Seconds() / partWall.Seconds()
+		r.Partitioned.Speedup = &sp
 	}
 }
 

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 
 	"gmsim/internal/fault"
 	"gmsim/internal/host"
@@ -15,6 +16,7 @@ import (
 	"gmsim/internal/mcp"
 	"gmsim/internal/network"
 	"gmsim/internal/phase"
+	"gmsim/internal/runner"
 	"gmsim/internal/sim"
 	"gmsim/internal/stats"
 	"gmsim/internal/topo"
@@ -53,6 +55,14 @@ type Config struct {
 	// derives its own random streams from it. A nil or empty plan changes
 	// nothing about the simulation.
 	Fault *fault.Plan
+	// Partitions > 1 splits the fabric at switch boundaries into that many
+	// partitions, each with its own event queue, and runs them as a
+	// conservative parallel simulation synchronized every trunk-latency
+	// window (see sim.Group). 0 or 1 means the classic serial engine.
+	// Partitioned runs are incompatible with fault plans and tracing
+	// (Validate/SetObserver enforce this) and require a topology with at
+	// least Partitions leaf switches.
+	Partitions int
 }
 
 // DefaultConfig returns the paper's LANai 4.3 testbed scaled to n nodes:
@@ -86,6 +96,14 @@ type Cluster struct {
 	procs  []*host.Process
 	inj    *fault.Injector
 	phases *phase.Recorder
+
+	// Partitioned-engine state: one simulator per partition (sims[0] ==
+	// sim), the synchronization group, the per-switch assignment, and the
+	// per-node partition index. All nil/empty on a serial cluster.
+	sims     []*sim.Simulator
+	group    *sim.Group
+	swParts  []int
+	nodePart []int
 }
 
 // topoSpec resolves the configuration's topology declaration: an explicit
@@ -127,8 +145,20 @@ func (cfg Config) Validate() error {
 	if err != nil {
 		return err
 	}
-	if _, err := topo.Build(spec); err != nil {
+	t, err := topo.Build(spec)
+	if err != nil {
 		return fmt.Errorf("cluster: %d nodes do not fit the topology: %w", cfg.Nodes, err)
+	}
+	if cfg.Partitions > 1 {
+		if cfg.Fault != nil {
+			return fmt.Errorf("cluster: fault injection requires the serial engine (Partitions=%d)", cfg.Partitions)
+		}
+		if _, err := topo.PartitionSwitches(t, cfg.Partitions); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if cfg.Link.Latency <= 0 {
+			return fmt.Errorf("cluster: partitioned runs need a positive link latency for lookahead")
+		}
 	}
 	return nil
 }
@@ -143,13 +173,35 @@ func New(cfg Config) *Cluster {
 	spec, _ := cfg.topoSpec()
 	top := topo.MustBuild(spec)
 	s := sim.New()
+	c := &Cluster{cfg: cfg, sim: s, top: top}
+	if cfg.Partitions > 1 {
+		// Conservative parallel engine: one simulator per partition,
+		// synchronized on the trunk propagation delay. Components are
+		// created on their partition's simulator so every intra-partition
+		// event stays on one queue.
+		parts, err := topo.PartitionSwitches(top, cfg.Partitions)
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+		c.swParts = parts
+		c.sims = make([]*sim.Simulator, cfg.Partitions)
+		c.sims[0] = s
+		for i := 1; i < cfg.Partitions; i++ {
+			c.sims[i] = sim.New()
+		}
+		c.group = sim.NewGroup(c.sims, cfg.Link.Latency)
+		c.nodePart = make([]int, cfg.Nodes)
+		for i, place := range top.NICs {
+			c.nodePart[i] = parts[place.Switch]
+		}
+	}
 	f := network.New(s)
-	c := &Cluster{cfg: cfg, sim: s, fabric: f, top: top}
+	c.fabric = f
 
 	sws := top.Materialize(f, cfg.Switch, cfg.Link)
 	for i := 0; i < cfg.Nodes; i++ {
 		node := network.NodeID(i)
-		nic := lanai.NewNIC(s, cfg.NIC)
+		nic := lanai.NewNIC(c.simOf(i), cfg.NIC)
 		mcfg := mcp.DefaultConfig(node)
 		mcfg.Params = cfg.Firmware
 		mcfg.ReliableBarrier = cfg.ReliableBarrier
@@ -178,7 +230,41 @@ func New(cfg Config) *Cluster {
 		}
 		c.inj = fault.Attach(cfg.Fault, f, byNode)
 	}
+	if c.group != nil {
+		if _, err := f.Partition(c.swParts, c.sims, c.group); err != nil {
+			panic("cluster: " + err.Error())
+		}
+	}
 	return c
+}
+
+// simOf returns the simulator that owns node i's components: the partition
+// of its leaf switch, or the single serial simulator.
+func (c *Cluster) simOf(i int) *sim.Simulator {
+	if c.nodePart == nil {
+		return c.sim
+	}
+	return c.sims[c.nodePart[i]]
+}
+
+// Partitions returns the number of engine partitions (1 when serial).
+func (c *Cluster) Partitions() int {
+	if c.group == nil {
+		return 1
+	}
+	return len(c.sims)
+}
+
+// Group returns the conservative synchronization group, or nil when the
+// cluster runs on the serial engine.
+func (c *Cluster) Group() *sim.Group { return c.group }
+
+// NodePartition returns the partition index owning node i (0 when serial).
+func (c *Cluster) NodePartition(i int) int {
+	if c.nodePart == nil {
+		return 0
+	}
+	return c.nodePart[i]
 }
 
 // Sim returns the cluster's simulator.
@@ -212,6 +298,9 @@ func (c *Cluster) Fault() *fault.Injector { return c.inj }
 // Call before SpawnAll. A nil recorder detaches the NICs (processes already
 // spawned keep their recorder). trace.Attach wires this for you.
 func (c *Cluster) SetPhaseRecorder(r *phase.Recorder) {
+	if r != nil && c.group != nil {
+		panic("cluster: phase recording requires the serial engine; run without Partitions")
+	}
 	c.phases = r
 	for i, nic := range c.nics {
 		nic.SetPhaseRecorder(r, int32(i))
@@ -276,7 +365,7 @@ func (c *Cluster) Spawn(i, rank int, body func(p *host.Process)) *host.Process {
 		panic(fmt.Sprintf("cluster: no node %d", i))
 	}
 	var hp *host.Process
-	proc := c.sim.Spawn(fmt.Sprintf("node%d/rank%d", i, rank), func(p *sim.Proc) {
+	proc := c.simOf(i).Spawn(fmt.Sprintf("node%d/rank%d", i, rank), func(p *sim.Proc) {
 		body(hp)
 	})
 	hp = host.NewProcess(proc, network.NodeID(i), rank, c.cfg.Host)
@@ -297,12 +386,55 @@ func (c *Cluster) SpawnAll(body func(p *host.Process)) {
 
 // Run drives the simulation until no events remain. It panics if processes
 // are left stranded (a lost-wakeup deadlock in the modeled program).
-func (c *Cluster) Run() {
-	c.sim.Run()
-	if n := c.sim.Stranded(); n > 0 {
-		panic(fmt.Sprintf("cluster: %d process(es) deadlocked at t=%v", n, c.sim.Now()))
+// On a partitioned cluster the partitions advance in parallel on up to
+// GOMAXPROCS workers; use RunWorkers to pin the worker count.
+func (c *Cluster) Run() { c.RunWorkers(0) }
+
+// RunWorkers is Run with an explicit worker count for the partitioned
+// engine: 0 means min(partitions, GOMAXPROCS); 1 executes the identical
+// window schedule serially (the determinism guard compares the two).
+// The worker count cannot change any simulation result — only wall time.
+func (c *Cluster) RunWorkers(workers int) {
+	if c.group == nil {
+		c.sim.Run()
+		if n := c.sim.Stranded(); n > 0 {
+			panic(fmt.Sprintf("cluster: %d process(es) deadlocked at t=%v", n, c.sim.Now()))
+		}
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(c.sims) {
+			workers = len(c.sims)
+		}
+	}
+	pool := runner.NewPool(workers)
+	defer pool.Close()
+	c.group.Run(pool)
+	if n := c.group.Stranded(); n > 0 {
+		panic(fmt.Sprintf("cluster: %d process(es) deadlocked at t=%v", n, c.MaxNow()))
 	}
 }
 
-// RunUntil drives the simulation up to time t.
-func (c *Cluster) RunUntil(t sim.Time) { c.sim.RunUntil(t) }
+// MaxNow returns the latest clock across partitions (the serial clock on a
+// serial cluster).
+func (c *Cluster) MaxNow() sim.Time {
+	if c.group == nil {
+		return c.sim.Now()
+	}
+	var max sim.Time
+	for _, s := range c.sims {
+		if t := s.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// RunUntil drives the simulation up to time t. Serial engine only.
+func (c *Cluster) RunUntil(t sim.Time) {
+	if c.group != nil {
+		panic("cluster: RunUntil requires the serial engine")
+	}
+	c.sim.RunUntil(t)
+}

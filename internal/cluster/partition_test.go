@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gmsim/internal/core"
+	"gmsim/internal/fault"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+	"gmsim/internal/phase"
+	"gmsim/internal/sim"
+	"gmsim/internal/topo"
+)
+
+// barrierTimes runs iters barriers on every rank of a built cluster and
+// returns each rank's completion timestamps plus the cluster's metric dump
+// — the observable surface the determinism guard compares across engines.
+// barrierDim returns a valid tree dimension for the algorithm: PE ignores
+// it; GB wants a tree arity in [1, n-1].
+func barrierDim(alg mcp.BarrierAlg) int {
+	if alg == mcp.GB {
+		return 4
+	}
+	return 0
+}
+
+func barrierTimes(t *testing.T, cfg Config, workers, iters int, alg mcp.BarrierAlg) ([][]sim.Time, map[string]int64) {
+	t.Helper()
+	cl := New(cfg)
+	n := cfg.Nodes
+	times := make([][]sim.Time, n)
+	g := core.UniformGroup(n, 2)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		comm, err := core.NewComm(p, port, 4*n+16)
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if err := comm.Barrier(p, alg, g, rank, barrierDim(alg)); err != nil {
+				t.Errorf("rank %d iter %d: %v", rank, i, err)
+				return
+			}
+			times[rank] = append(times[rank], p.Now())
+		}
+	})
+	cl.RunWorkers(workers)
+	return times, metricsMap(cl)
+}
+
+// metricsMap flattens the cluster metric registry for DeepEqual.
+func metricsMap(cl *Cluster) map[string]int64 {
+	reg := cl.Metrics()
+	out := make(map[string]int64)
+	for _, name := range reg.Names() {
+		out[name] = reg.Get(name)
+	}
+	return out
+}
+
+func clos2Config(nodes, radix, partitions int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Topology = &topo.Spec{Kind: topo.Clos2, Radix: radix}
+	cfg.Switch.Ports = radix
+	cfg.Partitions = partitions
+	cfg.ReliableBarrier = true
+	return cfg
+}
+
+// TestPartitionedBarrierMatchesSerial pins the engine's core contract: a
+// partitioned run — on one worker or many — produces bit-identical
+// observable results (per-rank barrier completion times and every cluster
+// metric) to the classic serial engine.
+func TestPartitionedBarrierMatchesSerial(t *testing.T) {
+	const nodes, radix, iters = 32, 8, 5
+	for _, alg := range []mcp.BarrierAlg{mcp.PE, mcp.GB} {
+		alg := alg
+		t.Run(fmt.Sprintf("alg=%v", alg), func(t *testing.T) {
+			serialT, serialM := barrierTimes(t, clos2Config(nodes, radix, 0), 0, iters, alg)
+			for _, k := range []int{2, 4} {
+				for _, workers := range []int{1, 4} {
+					partT, partM := barrierTimes(t, clos2Config(nodes, radix, k), workers, iters, alg)
+					tag := fmt.Sprintf("partitions=%d workers=%d", k, workers)
+					if !reflect.DeepEqual(serialT, partT) {
+						t.Fatalf("%s: barrier completion times diverge from serial\nserial: %v\npart:   %v",
+							tag, serialT[0], partT[0])
+					}
+					if !reflect.DeepEqual(serialM, partM) {
+						for k, v := range serialM {
+							if partM[k] != v {
+								t.Errorf("%s: metric %s = %d, serial %d", tag, k, partM[k], v)
+							}
+						}
+						t.Fatalf("%s: metrics diverge from serial", tag)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionedRejectsSerialOnlyFeatures pins the gates: fault plans,
+// phase recording, tracing observers, and RunUntil refuse to combine with
+// the partitioned engine.
+func TestPartitionedRejectsSerialOnlyFeatures(t *testing.T) {
+	cfg := clos2Config(32, 8, 2)
+	cfg.Fault = &fault.Plan{}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("Validate accepted a fault plan on a partitioned cluster")
+	}
+
+	cl := New(clos2Config(32, 8, 2))
+	mustPanic(t, "SetPhaseRecorder", func() { cl.SetPhaseRecorder(phase.NewRecorder()) })
+	mustPanic(t, "SetObserver", func() { cl.Fabric().SetObserver(nopObserver{}) })
+	mustPanic(t, "RunUntil", func() { cl.RunUntil(5) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s on a partitioned cluster did not panic", what)
+		}
+	}()
+	fn()
+}
+
+type nopObserver struct{}
+
+func (nopObserver) PacketInjected(*network.Packet)        {}
+func (nopObserver) PacketDelivered(*network.Packet)       {}
+func (nopObserver) PacketDropped(*network.Packet, string) {}

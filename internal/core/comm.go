@@ -30,6 +30,77 @@ type Comm struct {
 	// while draining events for something else; at most one can be
 	// outstanding).
 	barrierDone int
+
+	// tokCache remembers the last computed barrier neighborhood. Programs
+	// overwhelmingly run many barriers over one fixed group, and the
+	// schedule/tree computation plus its slices dominated the host-side
+	// allocation profile; the firmware treats the cached slices read-only
+	// (per-token mutable state lives in the token itself).
+	tokCache tokenCache
+}
+
+// tokenCache is one memoized NICBarrierTokenMapped result plus the inputs
+// that produced it. The group and leafOf contents are copied, so staleness
+// is detected by value even if the caller mutates its slices in place.
+type tokenCache struct {
+	valid     bool
+	alg       mcp.BarrierAlg
+	self, dim int
+	g         Group
+	leafOf    []int
+
+	peers    []mcp.Endpoint
+	root     bool
+	parent   mcp.Endpoint
+	children []mcp.Endpoint
+}
+
+func (tc *tokenCache) matches(alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) bool {
+	if !tc.valid || tc.alg != alg || tc.self != self || len(tc.g) != len(g) {
+		return false
+	}
+	if alg == mcp.GB && tc.dim != dim {
+		return false
+	}
+	for i, ep := range g {
+		if tc.g[i] != ep {
+			return false
+		}
+	}
+	if len(tc.leafOf) != len(leafOf) {
+		return false
+	}
+	for i, l := range leafOf {
+		if tc.leafOf[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// barrierToken returns a fresh token for the given barrier, reusing the
+// memoized neighborhood when the inputs match the previous call.
+func (c *Comm) barrierToken(alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (*mcp.BarrierToken, error) {
+	tc := &c.tokCache
+	if tc.matches(alg, g, self, dim, leafOf) {
+		return &mcp.BarrierToken{
+			Alg:      alg,
+			Peers:    tc.peers,
+			Root:     tc.root,
+			Parent:   tc.parent,
+			Children: tc.children,
+		}, nil
+	}
+	tok, err := NICBarrierTokenMapped(alg, g, self, dim, leafOf)
+	if err != nil {
+		return nil, err
+	}
+	tc.valid = true
+	tc.alg, tc.self, tc.dim = alg, self, dim
+	tc.g = append(tc.g[:0], g...)
+	tc.leafOf = append(tc.leafOf[:0], leafOf...)
+	tc.peers, tc.root, tc.parent, tc.children = tok.Peers, tok.Root, tok.Parent, tok.Children
+	return tok, nil
 }
 
 // NewComm wraps an open port and pre-posts bufs receive buffers.
@@ -165,7 +236,7 @@ func (c *Comm) StartBarrier(p *host.Process, alg mcp.BarrierAlg, g Group, self, 
 // StartBarrierMapped is StartBarrier with a topology hint (see
 // BarrierMapped).
 func (c *Comm) StartBarrierMapped(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (*PendingBarrier, error) {
-	tok, err := NICBarrierTokenMapped(alg, g, self, dim, leafOf)
+	tok, err := c.barrierToken(alg, g, self, dim, leafOf)
 	if err != nil {
 		return nil, err
 	}

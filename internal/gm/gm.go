@@ -48,7 +48,11 @@ type Port struct {
 	num  int
 	open bool
 
+	// events is the host-visible event queue. evHead indexes the next
+	// unconsumed entry; when the queue drains the slice rewinds to its
+	// start so steady-state traffic reuses one backing array.
 	events []mcp.HostEvent
+	evHead int
 	sig    *sim.Signal
 
 	// Host-side mirrors of NIC state, kept exact because each port is
@@ -113,7 +117,7 @@ func (pt *Port) Node() mcp.Endpoint { return mcp.Endpoint{Node: pt.mcp.Node(), P
 func (pt *Port) IsOpen() bool { return pt.open }
 
 // PendingEvents returns the number of host events queued but not received.
-func (pt *Port) PendingEvents() int { return len(pt.events) }
+func (pt *Port) PendingEvents() int { return len(pt.events) - pt.evHead }
 
 // Stats returns (sends posted, events received, barriers posted).
 func (pt *Port) Stats() (int64, int64, int64) { return pt.sent, pt.received, pt.barriers }
@@ -205,13 +209,13 @@ func (pt *Port) BarrierSend(p *host.Process, tok *mcp.BarrierToken) error {
 // event-detection cost plus a per-kind processing cost (the paper's HRecv
 // for data and barrier-completion events).
 func (pt *Port) Receive(p *host.Process) mcp.HostEvent {
-	for len(pt.events) == 0 {
+	for pt.PendingEvents() == 0 {
 		p.Proc().Wait(pt.sig)
 	}
 	// The detection cost is attributed by what is being detected, so a
 	// barrier completion's uncached event-queue reads land in HostDone,
 	// not HostRecv (the charge itself is identical either way).
-	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[0].Kind), "detect")
+	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[pt.evHead].Kind), "detect")
 	return pt.consume(p)
 }
 
@@ -219,18 +223,22 @@ func (pt *Port) Receive(p *host.Process) mcp.HostEvent {
 // one poll cost; if an event is present it is consumed and returned.
 // Fuzzy-barrier loops interleave TryReceive with computation.
 func (pt *Port) TryReceive(p *host.Process) (mcp.HostEvent, bool) {
-	if len(pt.events) == 0 {
+	if pt.PendingEvents() == 0 {
 		p.ComputePhase(p.Params().PollCost, phase.HostRecv, "poll")
 		return mcp.HostEvent{}, false
 	}
-	p.ComputePhase(p.Params().PollCost, eventPhase(pt.events[0].Kind), "poll")
-	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[0].Kind), "detect")
+	p.ComputePhase(p.Params().PollCost, eventPhase(pt.events[pt.evHead].Kind), "poll")
+	p.ComputePhase(p.Params().RecvDetect, eventPhase(pt.events[pt.evHead].Kind), "detect")
 	return pt.consume(p), true
 }
 
 func (pt *Port) consume(p *host.Process) mcp.HostEvent {
-	ev := pt.events[0]
-	pt.events = pt.events[1:]
+	ev := pt.events[pt.evHead]
+	pt.evHead++
+	if pt.evHead == len(pt.events) {
+		pt.events = pt.events[:0]
+		pt.evHead = 0
+	}
 	pt.received++
 	switch ev.Kind {
 	case mcp.RecvEvent:

@@ -147,6 +147,19 @@ func (n *NIC) Exec(cycles int64, fn func()) {
 // span itself. The span covers the task's queued execution window
 // [start, start+dur], recorded at schedule time.
 func (n *NIC) ExecTagged(cycles int64, label string, fn func()) {
+	n.sim.At(n.charge(cycles, label), fn)
+}
+
+// ExecTaggedCall is ExecTagged for a prebuilt single-argument callback:
+// fn and arg pass straight through to sim.AtCall, so charging a firmware
+// task with a long-lived method value allocates nothing.
+func (n *NIC) ExecTaggedCall(cycles int64, label string, fn func(uint64), arg uint64) {
+	n.sim.AtCall(n.charge(cycles, label), fn, arg)
+}
+
+// charge books cycles on the serial firmware processor and returns the
+// completion instant.
+func (n *NIC) charge(cycles int64, label string) sim.Time {
 	start := n.sim.Now()
 	if n.cpuFree > start {
 		start = n.cpuFree
@@ -165,7 +178,7 @@ func (n *NIC) ExecTagged(cycles int64, label string, fn func()) {
 			Node: n.node, Peer: -1, Label: label,
 		})
 	}
-	n.sim.At(n.cpuFree, fn)
+	return n.cpuFree
 }
 
 // Stall freezes the firmware processor for d starting now (or when its

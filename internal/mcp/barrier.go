@@ -328,30 +328,40 @@ func (m *MCP) sendBarrierFrameEpoch(srcPort, epoch int, dst Endpoint, kind Frame
 	if kind == BarrierGatherFrame || kind == BarrierBcastFrame {
 		prep, label = m.cfg.Params.GBPrep, "gb.prep"
 	}
-	m.nic.ExecTagged(prep+m.cfg.Params.SendXmit, label, func() {
-		if m.cfg.LoopbackFlag && dst.Node == m.cfg.Node {
-			// Section 3.4 optimization: two ports of the same NIC in one
-			// barrier exchange a flag instead of a packet.
-			m.stats.BarrierSent++
-			m.handleBarrier(f)
-			if after != nil {
-				after()
-			}
-			return
-		}
-		if m.cfg.ReliableBarrier {
-			c := m.conn(dst.Node)
-			f.Seq = c.barrierSendSeq
-			c.barrierSendSeq++
-			c.barrierSent = append(c.barrierSent, &sentBarrier{frame: f})
-			m.armRetransTimer(c)
-		}
+	h, rec := m.pendBarSends.Get()
+	rec.f, rec.dst, rec.after = f, dst, after
+	m.nic.ExecTaggedCall(prep+m.cfg.Params.SendXmit, label, m.barSendFn, h)
+}
+
+// barSendEvent fires when a barrier frame's preparation cost has been paid
+// on the firmware processor: release the leased record and send the frame.
+func (m *MCP) barSendEvent(h uint64) {
+	rec := m.pendBarSends.At(h)
+	f, dst, after := rec.f, rec.dst, rec.after
+	rec.f, rec.after = nil, nil
+	m.pendBarSends.Put(h)
+	if m.cfg.LoopbackFlag && dst.Node == m.cfg.Node {
+		// Section 3.4 optimization: two ports of the same NIC in one
+		// barrier exchange a flag instead of a packet.
 		m.stats.BarrierSent++
-		m.transmitFrame(f)
+		m.handleBarrier(f)
 		if after != nil {
 			after()
 		}
-	})
+		return
+	}
+	if m.cfg.ReliableBarrier {
+		c := m.conn(dst.Node)
+		f.Seq = c.barrierSendSeq
+		c.barrierSendSeq++
+		c.barrierSent = append(c.barrierSent, &sentBarrier{frame: f})
+		m.armRetransTimer(c)
+	}
+	m.stats.BarrierSent++
+	m.transmitFrame(f)
+	if after != nil {
+		after()
+	}
 }
 
 func (m *MCP) sendBarrierAck(f *Frame) {

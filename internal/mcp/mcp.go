@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gmsim/internal/lanai"
+	"gmsim/internal/mem"
 	"gmsim/internal/network"
 	"gmsim/internal/sim"
 )
@@ -37,7 +38,27 @@ type MCP struct {
 	// lastColl is the collective analogue of lastGB.
 	lastColl []*CollToken
 
+	// pendFrames leases frame pointers across the RECV classification and
+	// loopback delays; the *Fn fields are the matching callbacks built once
+	// as method values, so the per-frame hot path schedules without
+	// allocating closures (see lanai.NIC.ExecTaggedCall).
+	pendFrames    mem.Slab[*Frame]
+	handleFrameFn func(uint64)
+	loopbackFn    func(uint64)
+
+	// pendBarSends is the same pattern for barrier-frame preparation.
+	pendBarSends mem.Slab[barSendRec]
+	barSendFn    func(uint64)
+
 	stats Stats
+}
+
+// barSendRec is one barrier frame waiting out its preparation cost on the
+// firmware processor.
+type barSendRec struct {
+	f     *Frame
+	dst   Endpoint
+	after func()
 }
 
 // New creates the firmware for a NIC. Attach must be called before any
@@ -60,6 +81,9 @@ func New(nic *lanai.NIC, cfg Config) *MCP {
 	for i := range m.ports {
 		m.ports[i] = &Port{num: i}
 	}
+	m.handleFrameFn = m.handleFrameEvent
+	m.loopbackFn = m.loopbackEvent
+	m.barSendFn = m.barSendEvent
 	return m
 }
 
@@ -253,7 +277,9 @@ func (m *MCP) PostSendToken(tok *SendToken) error {
 // tasks (e.g. the next barrier's token) cannot interleave between them.
 func (m *MCP) transmitFrame(f *Frame) {
 	if f.DstNode == m.cfg.Node {
-		m.sim.After(m.cfg.Params.LoopbackDelay, func() { m.receiveFrame(f) })
+		h, cell := m.pendFrames.Get()
+		*cell = f
+		m.sim.AfterCall(m.cfg.Params.LoopbackDelay, m.loopbackFn, h)
 		return
 	}
 	if m.iface == nil || m.routeTo == nil {
@@ -264,13 +290,23 @@ func (m *MCP) transmitFrame(f *Frame) {
 		m.stats.ProtocolErrors++
 		return
 	}
-	m.iface.Transmit(&network.Packet{
-		Route:   append([]byte(nil), r...),
-		Src:     m.cfg.Node,
-		Dst:     f.DstNode,
-		Size:    f.WireSize(),
-		Payload: f,
-	})
+	pkt := m.iface.NewPacket()
+	pkt.Src = m.cfg.Node
+	pkt.Dst = f.DstNode
+	pkt.Size = f.WireSize()
+	pkt.Payload = f
+	pkt.SetRoute(r)
+	m.iface.Transmit(pkt)
+}
+
+// loopbackEvent fires LoopbackDelay after a self-addressed frame was
+// "transmitted": release the leased frame and receive it.
+func (m *MCP) loopbackEvent(h uint64) {
+	cell := m.pendFrames.At(h)
+	f := *cell
+	*cell = nil
+	m.pendFrames.Put(h)
+	m.receiveFrame(f)
 }
 
 // HandleDelivered is the fabric receive callback: a packet has fully
@@ -291,6 +327,9 @@ func (m *MCP) HandleDelivered(p *network.Packet) {
 	switch pl := p.Payload.(type) {
 	case *Frame:
 		m.receiveFrame(pl)
+		// The frame has been extracted and nothing else looks at the
+		// carrier packet again: hand it back for reuse.
+		m.iface.Recycle(p)
 	case []byte:
 		// A wire-level byte image (the fault layer serializes frames it
 		// mangles): decode and CRC-check like real firmware.
@@ -326,7 +365,19 @@ func (m *MCP) receiveFrame(f *Frame) {
 		m.stats.ProtocolErrors++
 		return
 	}
-	m.nic.ExecTagged(cost, label, func() { m.handleFrame(f) })
+	h, cell := m.pendFrames.Get()
+	*cell = f
+	m.nic.ExecTaggedCall(cost, label, m.handleFrameFn, h)
+}
+
+// handleFrameEvent fires when the RECV classification cost has been paid:
+// release the leased frame and dispatch it.
+func (m *MCP) handleFrameEvent(h uint64) {
+	cell := m.pendFrames.At(h)
+	f := *cell
+	*cell = nil
+	m.pendFrames.Put(h)
+	m.handleFrame(f)
 }
 
 func (m *MCP) handleFrame(f *Frame) {

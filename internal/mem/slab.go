@@ -1,0 +1,72 @@
+package mem
+
+// Slab is an arena-backed object pool: a chunked store of T with a
+// free list, addressed by dense uint64 handles. It backs the simulator's
+// hot-path event payloads (in-flight hop records, forward descriptors)
+// so the schedule→deliver path performs zero heap allocations in steady
+// state: Get reuses a freed cell when one exists and only grows the arena
+// — one chunk at a time, amortized — when the live population rises.
+//
+// Handles are plain indices, not pointers, so a payload can ride through
+// the event queue in a uint64 argument (see sim.AtCall) and the garbage
+// collector never scans a per-event allocation. Cells are NOT generation-
+// tagged: a slab is a single-owner structure (one fabric component, one
+// partition) whose Get/Put pairs are strictly matched by construction,
+// unlike the simulator's cancellable events.
+//
+// The chunked layout (fixed-size chunks, never reallocated) keeps *T
+// pointers stable across Get calls, so a caller may hold the pointer for
+// the duration of the cell's lease.
+type Slab[T any] struct {
+	chunks [][]T
+	free   []uint64
+	live   int
+}
+
+// slabChunk is the number of cells per chunk. 256 cells keeps chunk
+// allocations rare while bounding the waste of a nearly-idle slab.
+const slabChunk = 256
+
+// Get leases a cell, returning its handle and a stable pointer. The cell
+// holds whatever value it had when released; callers overwrite every field
+// they use.
+func (s *Slab[T]) Get() (uint64, *T) {
+	if n := len(s.free); n > 0 {
+		h := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.live++
+		return h, &s.chunks[h/slabChunk][h%slabChunk]
+	}
+	last := len(s.chunks) - 1
+	if last < 0 || len(s.chunks[last]) == slabChunk {
+		s.chunks = append(s.chunks, make([]T, 0, slabChunk))
+		last++
+	}
+	c := &s.chunks[last]
+	*c = (*c)[:len(*c)+1]
+	h := uint64(last)*slabChunk + uint64(len(*c)-1)
+	s.live++
+	return h, &(*c)[len(*c)-1]
+}
+
+// At returns the stable pointer for a leased handle.
+func (s *Slab[T]) At(h uint64) *T { return &s.chunks[h/slabChunk][h%slabChunk] }
+
+// Put releases a cell back to the free list. The pointed-to value is left
+// as-is; callers holding reference types should clear them first if they
+// want the GC to reclaim what the cell pointed at.
+func (s *Slab[T]) Put(h uint64) {
+	s.free = append(s.free, h)
+	s.live--
+}
+
+// Live returns the number of currently leased cells.
+func (s *Slab[T]) Live() int { return s.live }
+
+// Cap returns the total number of cells the arena has materialized.
+func (s *Slab[T]) Cap() int {
+	if len(s.chunks) == 0 {
+		return 0
+	}
+	return (len(s.chunks)-1)*slabChunk + len(s.chunks[len(s.chunks)-1])
+}

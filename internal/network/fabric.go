@@ -3,7 +3,9 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
+	"gmsim/internal/mem"
 	"gmsim/internal/route"
 	"gmsim/internal/sim"
 )
@@ -29,8 +31,15 @@ type Fabric struct {
 	nextLink LinkID
 	nicLinks map[NodeID]NICLinks
 
-	delivered int64
-	dropped   int64
+	// delivered/dropped are atomic because, on a partitioned fabric,
+	// deliveries happen concurrently on every partition's event loop.
+	delivered atomic.Int64
+	dropped   atomic.Int64
+
+	// partitioned marks that Partition has split the fabric; observers and
+	// fault hooks are refused afterwards (they retain packet pointers and
+	// run unsynchronized).
+	partitioned bool
 }
 
 // fabric is an alias kept so internal files read naturally.
@@ -50,18 +59,30 @@ func New(s *sim.Simulator) *Fabric {
 func (f *Fabric) Sim() *sim.Simulator { return f.sim }
 
 // Delivered returns the count of packets fully delivered to NICs.
-func (f *Fabric) Delivered() int64 { return f.delivered }
+func (f *Fabric) Delivered() int64 { return f.delivered.Load() }
 
 // Dropped returns the count of packets discarded by the fabric.
-func (f *Fabric) Dropped() int64 { return f.dropped }
+func (f *Fabric) Dropped() int64 { return f.dropped.Load() }
 
 // SetObserver installs a fabric event observer (tracing); nil clears it.
-func (f *Fabric) SetObserver(o Observer) { f.observer = o }
+// Panics on a partitioned fabric: observers retain packet pointers and
+// would run concurrently from every partition.
+func (f *Fabric) SetObserver(o Observer) {
+	if o != nil && f.partitioned {
+		panic("network: observers (tracing) require a serial fabric; run without -partitions")
+	}
+	f.observer = o
+}
 
 // SetFaultHook installs a fault-injection hook consulted at every channel
 // hop, before the fabric's own loss injection (see internal/fault).
-// nil clears it.
-func (f *Fabric) SetFaultHook(h FaultHook) { f.hook = h }
+// nil clears it. Panics on a partitioned fabric, as SetObserver does.
+func (f *Fabric) SetFaultHook(h FaultHook) {
+	if h != nil && f.partitioned {
+		panic("network: fault hooks require a serial fabric; run without -partitions")
+	}
+	f.hook = h
+}
 
 // NoteFault forwards a fault-layer event to the observer, if the observer
 // cares (implements FaultObserver). The fault injector calls this so link
@@ -127,7 +148,7 @@ func (f *Fabric) dropPacket(link LinkID, p *Packet) bool {
 }
 
 func (f *Fabric) drop(p *Packet, reason string) {
-	f.dropped++
+	f.dropped.Add(1)
 	if f.observer != nil {
 		f.observer.PacketDropped(p, reason)
 	}
@@ -157,7 +178,8 @@ func (f *Fabric) AttachNIC(node NodeID, sw *Switch, port int, lp LinkParams, rec
 	if sw.out[port] != nil {
 		panic(fmt.Sprintf("network: switch %d port %d already cabled", sw.id, port))
 	}
-	iface := &Iface{fab: f, node: node, recv: recv}
+	iface := &Iface{fab: f, node: node, recv: recv, sim: f.sim, homeSw: sw}
+	iface.deliverFn = iface.deliverEvent
 	// NIC -> switch direction.
 	iface.tx = f.newChannel(lp, sw)
 	// switch -> NIC direction.
@@ -196,7 +218,8 @@ func (f *Fabric) Route(src, dst NodeID) ([]byte, error) {
 
 // newChannel allocates one directed channel with the next dense LinkID.
 func (f *Fabric) newChannel(lp LinkParams, sink headSink) *channel {
-	c := &channel{fab: f, params: lp, sink: sink, id: f.nextLink}
+	c := &channel{fab: f, params: lp, sink: sink, id: f.nextLink, sim: f.sim}
+	c.arriveFn = c.arriveEvent
 	f.nextLink++
 	return c
 }
@@ -225,6 +248,57 @@ type Iface struct {
 	node NodeID
 	tx   *channel
 	recv func(*Packet)
+
+	// pend holds packets between head and tail arrival; deliverFn is the
+	// tail-arrival callback as a method value built once, so completing a
+	// receive allocates nothing.
+	pend      mem.Slab[recvRec]
+	deliverFn func(uint64)
+
+	// sim is the event queue of the partition that owns this NIC (that of
+	// its leaf switch); it equals fab.sim until the fabric is partitioned.
+	// part mirrors the partition index; homeSw is the attachment switch.
+	sim    *sim.Simulator
+	part   int32
+	homeSw *Switch
+
+	// pool is a bounded free list of packets this NIC has fully consumed,
+	// available for its own next transmissions. Only this NIC's event flow
+	// touches it, so it stays safe when the fabric is split into
+	// partitions. Pooling is disabled while an observer or fault hook is
+	// installed — both may retain packet pointers past delivery.
+	pool []*Packet
+}
+
+// packetPoolCap bounds how many consumed packets an interface hoards.
+const packetPoolCap = 32
+
+// NewPacket returns a zeroed packet for transmission, reusing one this NIC
+// previously recycled when possible.
+func (i *Iface) NewPacket() *Packet {
+	if n := len(i.pool); n > 0 {
+		p := i.pool[n-1]
+		i.pool = i.pool[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// Recycle offers a delivered packet back for reuse. The caller (NIC
+// firmware) must be completely done with it: no references may survive the
+// call. Ignored when anything else might still be holding the packet.
+func (i *Iface) Recycle(p *Packet) {
+	if i.fab.observer != nil || i.fab.hook != nil || len(i.pool) >= packetPoolCap {
+		return
+	}
+	i.pool = append(i.pool, p)
+}
+
+// recvRec is one packet whose head has reached the NIC and whose tail is
+// still on the wire.
+type recvRec struct {
+	p *Packet
 }
 
 // Node returns the NIC's fabric identity.
@@ -247,17 +321,27 @@ func (i *Iface) TxBusy() bool { return i.tx.busy() }
 // headArrived implements headSink: the packet head reached the NIC; the
 // packet is fully received one serialization time later.
 func (i *Iface) headArrived(p *Packet, wire sim.Time) {
-	i.fab.sim.After(wire, func() {
-		if len(p.Route) != 0 {
-			i.fab.drop(p, "route-left-over-at-nic")
-			return
-		}
-		i.fab.delivered++
-		if i.fab.observer != nil {
-			i.fab.observer.PacketDelivered(p)
-		}
-		if i.recv != nil {
-			i.recv(p)
-		}
-	})
+	h, rec := i.pend.Get()
+	rec.p = p
+	i.sim.AfterCall(wire, i.deliverFn, h)
+}
+
+// deliverEvent fires at tail arrival: release the leased record and hand
+// the packet to the NIC.
+func (i *Iface) deliverEvent(h uint64) {
+	rec := i.pend.At(h)
+	p := rec.p
+	rec.p = nil
+	i.pend.Put(h)
+	if len(p.Route) != 0 {
+		i.fab.drop(p, "route-left-over-at-nic")
+		return
+	}
+	i.fab.delivered.Add(1)
+	if i.fab.observer != nil {
+		i.fab.observer.PacketDelivered(p)
+	}
+	if i.recv != nil {
+		i.recv(p)
+	}
 }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"gmsim/internal/mem"
 	"gmsim/internal/sim"
 )
 
@@ -38,6 +39,13 @@ type headSink interface {
 	headArrived(p *Packet, wire sim.Time)
 }
 
+// hopRec is the payload of one in-flight channel traversal, leased from the
+// channel's slab for the duration of the propagation event.
+type hopRec struct {
+	p    *Packet
+	wire sim.Time
+}
+
 // channel is one direction of a link: a serializing resource with latency.
 type channel struct {
 	fab       *fabric
@@ -46,13 +54,30 @@ type channel struct {
 	busyUntil sim.Time
 	sink      headSink
 	queued    int // packets accepted but not yet fully transmitted
+
+	// pend holds the in-flight hop payloads; arriveFn is the arrival
+	// callback as a method value built once, so scheduling a hop allocates
+	// nothing (see sim.AtCall).
+	pend     mem.Slab[hopRec]
+	arriveFn func(uint64)
+
+	// sim is the event queue of the partition that owns the transmitting
+	// component; it equals fab.sim until the fabric is partitioned.
+	sim *sim.Simulator
+	// group, when non-nil, marks this channel as a cross-partition trunk:
+	// arrivals are posted to the sink's partition (xdst) through the
+	// group's mailboxes instead of being scheduled locally. xsrc names the
+	// transmitting partition. All source-side state (busyUntil) stays with
+	// the transmitter; the sink side runs entirely in xdst.
+	group      *sim.Group
+	xsrc, xdst int32
 }
 
 // transmit accepts a packet for transmission at the current simulated time.
 // If the channel is busy the packet waits (FIFO by virtue of busyUntil
 // monotonicity). Returns the time the head will arrive at the sink.
 func (c *channel) transmit(p *Packet) sim.Time {
-	s := c.fab.sim
+	s := c.sim
 	start := s.Now()
 	if c.busyUntil > start {
 		start = c.busyUntil
@@ -60,12 +85,30 @@ func (c *channel) transmit(p *Packet) sim.Time {
 	wire := c.params.wireTime(p.Size)
 	c.busyUntil = start + wire
 	headArrive := start + c.params.Latency
+	if c.group != nil {
+		// Cross-partition hop: ownership of the packet transfers wholly to
+		// the sink's partition at the window boundary. The closure is the
+		// mail payload; the intra-partition slab is not involved, because
+		// the two sides run on different event loops.
+		c.group.Post(int(c.xsrc), int(c.xdst), headArrive, func() { c.arrive(p, wire) })
+		return headArrive
+	}
 	c.queued++
-	s.At(headArrive, func() {
-		c.queued--
-		c.arrive(p, wire)
-	})
+	h, rec := c.pend.Get()
+	rec.p, rec.wire = p, wire
+	s.AtCall(headArrive, c.arriveFn, h)
 	return headArrive
+}
+
+// arriveEvent fires when a hop's head reaches the end of the channel:
+// release the leased record, then deliver.
+func (c *channel) arriveEvent(h uint64) {
+	rec := c.pend.At(h)
+	p, wire := rec.p, rec.wire
+	rec.p = nil
+	c.pend.Put(h)
+	c.queued--
+	c.arrive(p, wire)
 }
 
 // arrive runs at the instant a packet head reaches the end of the channel:
@@ -79,7 +122,8 @@ func (c *channel) arrive(p *Packet, wire sim.Time) {
 			// Deliver an independent copy right behind the original, so a
 			// consumed route on one copy cannot corrupt the other.
 			dup := p.Clone()
-			f.sim.At(f.sim.Now(), func() { c.finish(dup, wire) })
+			snk := c.sinkSim()
+			snk.At(snk.Now(), func() { c.finish(dup, wire) })
 		}
 		if v.Drop {
 			reason := v.Reason
@@ -104,5 +148,16 @@ func (c *channel) finish(p *Packet, wire sim.Time) {
 
 // busy reports whether the channel is currently serializing a packet.
 func (c *channel) busy() bool {
-	return c.fab.sim.Now() < c.busyUntil || c.queued > 0
+	return c.sim.Now() < c.busyUntil || c.queued > 0
+}
+
+// sinkSim returns the event queue the sink side of the channel runs on.
+func (c *channel) sinkSim() *sim.Simulator {
+	switch snk := c.sink.(type) {
+	case *Switch:
+		return snk.sim
+	case *Iface:
+		return snk.sim
+	}
+	return c.sim
 }

@@ -35,14 +35,29 @@ type Packet struct {
 	// Corrupt marks a packet damaged on the wire (bit errors, truncation).
 	// The receiving NIC's CRC check fails and the firmware must discard it.
 	Corrupt bool
+
+	// routeBuf backs Route inline for the short source routes every
+	// realistic topology produces (one byte per switch tier crossed), so
+	// stamping a route onto a packet does not allocate.
+	routeBuf [8]byte
 }
 
-// Clone returns a copy of the packet with its own Route slice, so a
+// SetRoute copies r into the packet's route, reusing the inline buffer
+// when it fits.
+func (p *Packet) SetRoute(r []byte) {
+	if len(r) <= len(p.routeBuf) {
+		p.Route = p.routeBuf[:copy(p.routeBuf[:], r)]
+	} else {
+		p.Route = append([]byte(nil), r...)
+	}
+}
+
+// Clone returns a copy of the packet with its own Route storage, so a
 // retransmission does not observe route bytes consumed by a previous
 // traversal.
 func (p *Packet) Clone() *Packet {
 	q := *p
-	q.Route = append([]byte(nil), p.Route...)
+	q.SetRoute(p.Route)
 	return &q
 }
 

@@ -1,0 +1,104 @@
+package network
+
+import (
+	"fmt"
+
+	"gmsim/internal/sim"
+)
+
+// Partition splits a fully built fabric across the partition simulators of
+// a sim.Group for conservative parallel execution. assign gives each
+// switch's partition (index into sims, as produced by
+// topo.PartitionSwitches); NICs follow their leaf switch. Every channel
+// whose transmitter and sink land in different partitions becomes a trunk:
+// its arrivals travel through the group's mailboxes instead of the local
+// event queue, and its propagation latency must be at least the group's
+// lookahead — Partition verifies this and returns the minimum cross-
+// partition latency found (the largest lookahead the topology supports).
+//
+// Partition must be called after the topology is materialized and all NICs
+// are attached, and before any traffic flows. It refuses fabrics with an
+// observer, fault hook, or loss injection installed: those features retain
+// packets or share unsynchronized state and are serial-only.
+func (f *Fabric) Partition(assign []int, sims []*sim.Simulator, g *sim.Group) (sim.Time, error) {
+	if len(assign) != len(f.switches) {
+		return 0, fmt.Errorf("network: partition assignment covers %d switches, fabric has %d",
+			len(assign), len(f.switches))
+	}
+	if f.observer != nil || f.hook != nil {
+		return 0, fmt.Errorf("network: cannot partition a fabric with an observer or fault hook")
+	}
+	if f.lossFn != nil || f.lossRate > 0 {
+		return 0, fmt.Errorf("network: cannot partition a fabric with loss injection")
+	}
+	for swID, p := range assign {
+		if p < 0 || p >= len(sims) {
+			return 0, fmt.Errorf("network: switch %d assigned to partition %d of %d", swID, p, len(sims))
+		}
+		f.switches[swID].part = int32(p)
+		f.switches[swID].sim = sims[p]
+	}
+	for _, iface := range f.ifaces {
+		iface.part = iface.homeSw.part
+		iface.sim = iface.homeSw.sim
+	}
+	// Rewire channels: the transmit side takes its owner's simulator; a
+	// channel whose sink lives elsewhere becomes a cross-partition trunk.
+	minCross := sim.Time(0)
+	crossed := 0
+	wire := func(c *channel, srcPart int32, srcSim *sim.Simulator) error {
+		c.sim = srcSim
+		var dstPart int32
+		switch snk := c.sink.(type) {
+		case *Switch:
+			dstPart = snk.part
+		case *Iface:
+			dstPart = snk.part
+		default:
+			return fmt.Errorf("network: channel %d has unknown sink type", c.id)
+		}
+		if dstPart == srcPart {
+			c.group, c.xsrc, c.xdst = nil, 0, 0
+			return nil
+		}
+		if c.params.Latency < g.Lookahead() {
+			return fmt.Errorf("network: link %d crosses partitions with latency %v < lookahead %v",
+				c.id, c.params.Latency, g.Lookahead())
+		}
+		c.group, c.xsrc, c.xdst = g, srcPart, dstPart
+		if crossed == 0 || c.params.Latency < minCross {
+			minCross = c.params.Latency
+		}
+		crossed++
+		return nil
+	}
+	for _, sw := range f.switches {
+		for _, c := range sw.out {
+			if c == nil {
+				continue
+			}
+			if err := wire(c, sw.part, sw.sim); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, iface := range f.ifaces {
+		if err := wire(iface.tx, iface.part, iface.sim); err != nil {
+			return 0, err
+		}
+	}
+	f.partitioned = true
+	return minCross, nil
+}
+
+// Partitioned reports whether Partition has split the fabric.
+func (f *Fabric) Partitioned() bool { return f.partitioned }
+
+// PartitionOf returns the partition index of a NIC's components (0 on an
+// unpartitioned fabric).
+func (f *Fabric) PartitionOf(node NodeID) int {
+	if i := f.ifaces[node]; i != nil {
+		return int(i.part)
+	}
+	return 0
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"gmsim/internal/mem"
 	"gmsim/internal/sim"
 )
 
@@ -32,13 +33,34 @@ type Switch struct {
 	id     int
 	params SwitchParams
 	out    []*channel // per-port outgoing channel, nil if uncabled
+
+	// pend holds in-transit forwarding descriptors; fwdFn is the cut-
+	// through completion callback as a method value built once, so
+	// forwarding a head allocates nothing.
+	pend  mem.Slab[fwdRec]
+	fwdFn func(uint64)
+
+	// sim is the event queue of the partition that owns this switch; it
+	// equals fab.sim until the fabric is partitioned. part is the owning
+	// partition's index (0 when unpartitioned).
+	sim  *sim.Simulator
+	part int32
+}
+
+// fwdRec is one head in flight across the crossbar: the packet plus the
+// already-consumed output port.
+type fwdRec struct {
+	p    *Packet
+	port int32
 }
 
 func newSwitch(f *fabric, id int, params SwitchParams) *Switch {
 	if params.Ports <= 0 {
 		panic("network: switch needs at least one port")
 	}
-	return &Switch{fab: f, id: id, params: params, out: make([]*channel, params.Ports)}
+	sw := &Switch{fab: f, id: id, params: params, out: make([]*channel, params.Ports), sim: f.sim}
+	sw.fwdFn = sw.forwardEvent
+	return sw
 }
 
 // Ports returns the switch's port count.
@@ -59,12 +81,22 @@ func (sw *Switch) headArrived(p *Packet, wire sim.Time) {
 		sw.fab.drop(p, fmt.Sprintf("bad-route-port-%d", port))
 		return
 	}
-	sw.fab.sim.After(sw.params.RouteDelay, func() {
-		if ho, ok := sw.fab.observer.(HopObserver); ok {
-			ho.PacketForwarded(p, sw.id, port)
-		}
-		sw.out[port].transmit(p)
-	})
+	h, rec := sw.pend.Get()
+	rec.p, rec.port = p, int32(port)
+	sw.sim.AfterCall(sw.params.RouteDelay, sw.fwdFn, h)
+}
+
+// forwardEvent fires RouteDelay after a head arrived: release the leased
+// descriptor and emit the head on the chosen output channel.
+func (sw *Switch) forwardEvent(h uint64) {
+	rec := sw.pend.At(h)
+	p, port := rec.p, int(rec.port)
+	rec.p = nil
+	sw.pend.Put(h)
+	if ho, ok := sw.fab.observer.(HopObserver); ok {
+		ho.PacketForwarded(p, sw.id, port)
+	}
+	sw.out[port].transmit(p)
 }
 
 // portCabled reports whether the given port has a cable.

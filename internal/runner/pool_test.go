@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolEachRunsEveryWorker(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		p := NewPool(n)
+		if p.Workers() != n {
+			t.Fatalf("NewPool(%d).Workers() = %d", n, p.Workers())
+		}
+		var hits [8]atomic.Int64
+		const rounds = 50
+		for r := 0; r < rounds; r++ {
+			p.Each(func(w int) { hits[w].Add(1) })
+		}
+		for w := 0; w < n; w++ {
+			if got := hits[w].Load(); got != rounds {
+				t.Errorf("n=%d: worker %d ran %d rounds, want %d", n, w, got, rounds)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolClampsWidth(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("NewPool(0).Workers() = %d, want 1", p.Workers())
+	}
+	ran := false
+	p.Each(func(w int) { ran = w == 0 })
+	if !ran {
+		t.Fatal("inline pool did not run fn(0)")
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		p := NewPool(n)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("n=%d: panic in worker was swallowed", n)
+				}
+				if !strings.Contains(strings.ToLower(joinPanic(r)), "boom") {
+					t.Errorf("n=%d: panic %v does not mention the cause", n, r)
+				}
+			}()
+			p.Each(func(w int) {
+				if w == n-1 {
+					panic("boom")
+				}
+			})
+		}()
+		// The pool must survive a panicked round: all workers drained.
+		var ok atomic.Int64
+		p.Each(func(int) { ok.Add(1) })
+		if got := ok.Load(); got != int64(n) {
+			t.Errorf("n=%d: round after panic ran %d workers, want %d", n, got, n)
+		}
+		p.Close()
+	}
+}
+
+func joinPanic(r any) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	if s, ok := r.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Each on a closed pool did not panic")
+		}
+	}()
+	p.Each(func(int) {})
+}

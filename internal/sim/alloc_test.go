@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestZeroAllocSchedulePopDeliver pins the engine's core contract: once
+// the calendar's slot pool and bucket arrays have warmed up, the
+// schedule→pop→deliver path allocates nothing — for both the closure form
+// (At with a long-lived func) and the method-value form (AtCall).
+func TestZeroAllocSchedulePopDeliver(t *testing.T) {
+	s := New()
+	fired := 0
+	fn := func() { fired++ }
+	var now Time
+	// Warm-up: grow the slot pool and settle the bucket width.
+	for i := 0; i < 4096; i++ {
+		now += Time(i%7) * 100
+		s.At(now+Time(i%13), fn)
+	}
+	s.Run()
+
+	if avg := testing.AllocsPerRun(200, func() {
+		base := s.Now()
+		for i := 0; i < 64; i++ {
+			s.At(base+Time(i%9)*50, fn)
+		}
+		s.Run()
+	}); avg != 0 {
+		t.Errorf("schedule→pop→deliver (At) allocates %.2f per run, want 0", avg)
+	}
+
+	argSum := uint64(0)
+	afn := func(arg uint64) { argSum += arg }
+	if avg := testing.AllocsPerRun(200, func() {
+		base := s.Now()
+		for i := 0; i < 64; i++ {
+			s.AtCall(base+Time(i%9)*50, afn, uint64(i))
+		}
+		s.Run()
+	}); avg != 0 {
+		t.Errorf("schedule→pop→deliver (AtCall) allocates %.2f per run, want 0", avg)
+	}
+	if fired == 0 || argSum == 0 {
+		t.Fatalf("events did not run (fired=%d argSum=%d)", fired, argSum)
+	}
+}
+
+// TestZeroAllocCancel pins that Cancel is allocation-free at steady state.
+func TestZeroAllocCancel(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.At(Time(i), fn)
+	}
+	s.Run()
+	ids := make([]EventID, 64)
+	if avg := testing.AllocsPerRun(200, func() {
+		base := s.Now()
+		for i := range ids {
+			ids[i] = s.At(base+Time(i%17)*30+1, fn)
+		}
+		for _, id := range ids {
+			if !s.Cancel(id) {
+				t.Fatal("cancel failed")
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("schedule+Cancel allocates %.2f per run, want 0", avg)
+	}
+	s.Run()
+}

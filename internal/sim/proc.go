@@ -16,6 +16,7 @@ type Proc struct {
 	name     string
 	resume   chan struct{}
 	parked   chan struct{}
+	wake     func() // wakeNow as a func value, built once so Sleep allocates nothing
 	finished bool
 }
 
@@ -28,6 +29,7 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.wake = p.wakeNow
 	s.procs++
 	go func() {
 		<-p.resume
@@ -36,7 +38,7 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Proc {
 		s.procs--
 		p.parked <- struct{}{}
 	}()
-	s.After(0, p.wakeNow)
+	s.After(0, p.wake)
 	return p
 }
 
@@ -76,7 +78,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %q sleeping negative duration %d", p.name, d))
 	}
-	p.sim.After(d, p.wakeNow)
+	p.sim.After(d, p.wake)
 	p.park()
 }
 

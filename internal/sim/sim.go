@@ -7,17 +7,26 @@
 //
 // Two execution styles are supported on top of the same clock:
 //
-//   - callback events, scheduled with At/After, for modeling hardware state
-//     machines (NIC firmware, DMA engines, switch ports);
+//   - callback events, scheduled with At/After (or the allocation-free
+//     AtCall/AfterCall), for modeling hardware state machines (NIC
+//     firmware, DMA engines, switch ports);
 //   - processes (see Proc), goroutines that run in strict lock-step with the
 //     event loop, for modeling host programs written in a blocking style.
 //
-// The event queue is an index-addressed 4-ary min-heap over a value slice:
-// heap entries carry the ordering key (time, sequence) inline so sift
-// comparisons stay within one cache line, while the event bodies live in a
-// free-listed slot pool addressed by index. Each slot records its current
-// heap position, so Cancel is O(log n) with no deferred bookkeeping — hot
-// in reliable mode, where every ACK cancels a retransmit timer.
+// The event queue is a calendar queue: an array of day buckets, each a
+// doubly-linked list (threaded through the free-listed slot pool, so
+// scheduling allocates nothing) kept sorted by (time, sequence). Our
+// fabrics produce short-horizon event distributions — most pending events
+// sit within a few bucket widths of the clock — so schedule and pop are
+// O(1) amortized: an insert lands at or near its bucket's head, and a pop
+// takes the head of the current day. The bucket width adapts to the
+// observed inter-event gap and the bucket count to the pending-event
+// population. Events beyond the calendar's horizon (retransmission timers,
+// fault windows) overflow into a 4-ary min-heap and migrate into the
+// calendar as the clock approaches them. Each slot records where it lives
+// (bucket or heap position), so Cancel is O(1) from a bucket and O(log n)
+// from the overflow heap — hot in reliable mode, where every ACK cancels a
+// retransmit timer.
 package sim
 
 import "fmt"
@@ -62,32 +71,80 @@ func FromMicros(us float64) Time {
 // newer event that happens to reuse the slot.
 type EventID int64
 
-// event is one heap entry: the ordering key plus the index of the slot
-// holding the callback. Entries are values, so heap sifts move 24 bytes and
-// never touch the allocator.
+// Slot location sentinels (slot.loc). Non-negative values are calendar
+// bucket indices.
+const (
+	locFree     int32 = -1
+	locOverflow int32 = -2
+)
+
+// event is one overflow-heap entry: the ordering key plus the index of the
+// slot holding the callback. Entries are values, so heap sifts move 24
+// bytes and never touch the allocator.
 type event struct {
 	at   Time
-	seq  int64 // tie-break: FIFO among same-time events
+	seq  int64
 	slot int32
 }
 
-// slot is a pooled event body. heapIndex tracks the entry's current heap
-// position (-1 while free), which is what makes Cancel O(log n).
+// slot is a pooled event body. Bucket membership is a doubly-linked list
+// through prev/next; overflow membership is tracked by heapIndex. Exactly
+// one of fn/afn is set: fn is the closure form, afn+arg the allocation-free
+// form used by hot paths (see AtCall).
 type slot struct {
-	fn        func()
-	heapIndex int32
-	gen       int32
-	next      int32 // free-list link, meaningful only while free
+	at         Time
+	seq        int64 // tie-break: FIFO among same-time events
+	fn         func()
+	afn        func(uint64)
+	arg        uint64
+	prev, next int32 // bucket list links; next doubles as the free-list link
+	gen        int32
+	loc        int32 // locFree, locOverflow, or calendar bucket index
+	heapIndex  int32 // position in the overflow heap (loc == locOverflow)
 }
+
+// Calendar tuning constants.
+const (
+	initialBuckets  = 64
+	minBuckets      = 16
+	initialWidthLog = 8 // 256 ns buckets until the gap estimate kicks in
+	// maxWidthLog caps the bucket width at ~1 ms so day arithmetic stays
+	// far from overflow even for second-scale timestamps.
+	maxWidthLog = 20
+	// longScanLimit/longScanTrigger: a sorted bucket insert that walks more
+	// than longScanLimit entries counts as a long scan; accumulating
+	// longScanTrigger of them forces a rebuild with a freshly estimated
+	// width (the signature of a mis-tuned calendar).
+	longScanLimit   = 16
+	longScanTrigger = 64
+)
 
 // Simulator is a discrete-event simulator. The zero value is not usable;
 // call New.
 type Simulator struct {
-	now      Time
-	heap     []event
-	slots    []slot
-	free     int32 // head of the free-slot list, -1 when empty
-	seq      int64
+	now Time
+
+	// Calendar queue.
+	buckets   []int32 // head slot per bucket, -1 empty; sorted by (at, seq)
+	tails     []int32 // tail slot per bucket, -1 empty
+	mask      int64   // len(buckets)-1 (bucket count is a power of two)
+	widthLog  uint    // bucket width = 1 << widthLog nanoseconds
+	curDay    int64   // lower bound on the earliest day present in the calendar
+	calCount  int     // events currently in calendar buckets
+	minCache  int32   // slot index of the known-minimum event, -1 if unknown
+	gapEMA    float64 // moving average of inter-pop time gaps, for width tuning
+	lastPopAt Time
+	longScans int
+
+	// Overflow: events beyond the calendar horizon, as a 4-ary min-heap.
+	over []event
+
+	rebuildScratch []int32 // reused by rebuild to re-place pending events
+
+	slots []slot
+	free  int32 // head of the free-slot list, -1 when empty
+	seq   int64
+
 	executed int64
 	running  bool
 	procs    int // live (spawned, not finished) processes
@@ -96,14 +153,22 @@ type Simulator struct {
 
 // New returns a simulator with the clock at zero and no pending events.
 func New() *Simulator {
-	return &Simulator{free: -1}
+	s := &Simulator{free: -1, widthLog: initialWidthLog, minCache: -1}
+	s.buckets = make([]int32, initialBuckets)
+	s.tails = make([]int32, initialBuckets)
+	for i := range s.buckets {
+		s.buckets[i] = -1
+		s.tails[i] = -1
+	}
+	s.mask = int64(len(s.buckets) - 1)
+	return s
 }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of scheduled, not-yet-cancelled events.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int { return s.calCount + len(s.over) }
 
 // Executed returns the total number of events executed so far. Useful for
 // bounding runaway simulations in tests.
@@ -112,27 +177,12 @@ func (s *Simulator) Executed() int64 { return s.executed }
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modeling bug.
 func (s *Simulator) At(t Time, fn func()) EventID {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	s.seq++
-	var idx int32
-	if s.free >= 0 {
-		idx = s.free
-		s.free = s.slots[idx].next
-	} else {
-		s.slots = append(s.slots, slot{heapIndex: -1})
-		idx = int32(len(s.slots) - 1)
-	}
-	sl := &s.slots[idx]
-	sl.fn = fn
-	sl.heapIndex = int32(len(s.heap))
-	s.heap = append(s.heap, event{at: t, seq: s.seq, slot: idx})
-	s.siftUp(len(s.heap) - 1)
-	return EventID(int64(uint32(sl.gen))<<32 | int64(idx+1))
+	idx := s.schedule(t)
+	s.slots[idx].fn = fn
+	return EventID(int64(uint32(s.slots[idx].gen))<<32 | int64(idx+1))
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -143,6 +193,201 @@ func (s *Simulator) After(d Time, fn func()) EventID {
 	return s.At(s.now+d, fn)
 }
 
+// AtCall schedules fn(arg) to run at absolute time t. It is At for the
+// allocation-free hot path: fn is typically a method value built once per
+// component and arg an index into caller-owned storage (see internal/mem),
+// so scheduling a hop or a firmware task creates no closure and performs
+// zero heap allocations.
+func (s *Simulator) AtCall(t Time, fn func(uint64), arg uint64) EventID {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	idx := s.schedule(t)
+	sl := &s.slots[idx]
+	sl.afn = fn
+	sl.arg = arg
+	return EventID(int64(uint32(sl.gen))<<32 | int64(idx+1))
+}
+
+// AfterCall schedules fn(arg) to run d nanoseconds from now.
+func (s *Simulator) AfterCall(d Time, fn func(uint64), arg uint64) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return s.AtCall(s.now+d, fn, arg)
+}
+
+// schedule allocates a slot for an event at time t, places it in the
+// calendar or overflow heap, and returns the slot index. The caller fills
+// in the callback.
+func (s *Simulator) schedule(t Time) int32 {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var idx int32
+	if s.free >= 0 {
+		idx = s.free
+		s.free = s.slots[idx].next
+	} else {
+		s.slots = append(s.slots, slot{loc: locFree, heapIndex: -1})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.at = t
+	sl.seq = s.seq
+	s.place(idx)
+	// The min cache survives inserts that land at or after the cached
+	// minimum — the overwhelmingly common case, since most events schedule
+	// into the future. A strictly earlier insert becomes the new minimum
+	// itself (it necessarily landed in the calendar: its day is bounded by
+	// the cached minimum's, which is inside the window).
+	if s.minCache >= 0 && t < s.slots[s.minCache].at {
+		s.minCache = idx
+	}
+	if s.calCount+len(s.over) > 2*len(s.buckets) {
+		s.rebuild(len(s.buckets) * 2)
+	} else if s.longScans >= longScanTrigger {
+		s.rebuild(len(s.buckets))
+	}
+	return idx
+}
+
+// place inserts an already-keyed slot into the calendar or overflow heap.
+func (s *Simulator) place(idx int32) {
+	sl := &s.slots[idx]
+	day := int64(sl.at) >> s.widthLog
+	if day >= s.curDay+int64(len(s.buckets)) {
+		s.pushOverflow(idx)
+		return
+	}
+	if day < s.curDay {
+		// A peek advanced curDay past empty days and a later insert landed
+		// behind it (legal: at >= now but below the previously found
+		// minimum). Rewind so the scan revisits it.
+		s.curDay = day
+	}
+	s.insertBucket(idx, int(day&s.mask))
+	s.calCount++
+}
+
+// insertBucket links the slot into its bucket's sorted list. The scan runs
+// backward from the tail: events overwhelmingly schedule at or after
+// everything already in their bucket (same-time FIFO tranches, near-future
+// hops), so the common case is an O(1) append. A head-first scan here is
+// quadratic on the thousand-event same-timestamp tranches a large barrier
+// produces.
+func (s *Simulator) insertBucket(idx int32, b int) {
+	sl := &s.slots[idx]
+	sl.loc = int32(b)
+	tail := s.tails[b]
+	if tail < 0 {
+		sl.prev, sl.next = -1, -1
+		s.buckets[b] = idx
+		s.tails[b] = idx
+		return
+	}
+	// Find the last entry ordered before (at, seq); insert after it. Ties
+	// stop immediately: an existing same-time entry always has a smaller
+	// sequence number.
+	at, seq := sl.at, sl.seq
+	cur := tail
+	steps := 0
+	for cur >= 0 {
+		c := &s.slots[cur]
+		if c.at < at || (c.at == at && c.seq < seq) {
+			break
+		}
+		cur = c.prev
+		steps++
+	}
+	if steps > longScanLimit {
+		s.longScans++
+	}
+	if cur < 0 {
+		// New head.
+		head := s.buckets[b]
+		sl.prev, sl.next = -1, head
+		s.slots[head].prev = idx
+		s.buckets[b] = idx
+		return
+	}
+	nxt := s.slots[cur].next
+	sl.prev, sl.next = cur, nxt
+	s.slots[cur].next = idx
+	if nxt >= 0 {
+		s.slots[nxt].prev = idx
+	} else {
+		s.tails[b] = idx
+	}
+}
+
+// removeBucket unlinks the slot from its bucket list.
+func (s *Simulator) removeBucket(idx int32) {
+	sl := &s.slots[idx]
+	if sl.prev >= 0 {
+		s.slots[sl.prev].next = sl.next
+	} else {
+		s.buckets[sl.loc] = sl.next
+	}
+	if sl.next >= 0 {
+		s.slots[sl.next].prev = sl.prev
+	} else {
+		s.tails[sl.loc] = sl.prev
+	}
+	s.calCount--
+}
+
+// rebuild resizes the calendar to nb buckets (a power of two), re-tunes the
+// bucket width from the observed inter-pop gap, and re-places every pending
+// event. Amortized across the inserts/pops that trigger it.
+func (s *Simulator) rebuild(nb int) {
+	if nb < minBuckets {
+		nb = minBuckets
+	}
+	// Width: a few times the average inter-pop gap keeps day occupancy
+	// near-constant for short-horizon distributions.
+	w := s.widthLog
+	if s.gapEMA > 0 {
+		target := s.gapEMA * 4
+		w = 0
+		for (int64(1)<<w) < int64(target) && w < maxWidthLog {
+			w++
+		}
+	}
+	// Collect every calendar event into a scratch buffer reused across
+	// rebuilds, so resizing stays allocation-free at steady state.
+	pending := s.rebuildScratch[:0]
+	for _, head := range s.buckets {
+		for cur := head; cur >= 0; cur = s.slots[cur].next {
+			pending = append(pending, cur)
+		}
+	}
+	s.rebuildScratch = pending
+	if cap(s.buckets) >= nb {
+		s.buckets = s.buckets[:nb]
+		s.tails = s.tails[:nb]
+	} else {
+		s.buckets = make([]int32, nb)
+		s.tails = make([]int32, nb)
+	}
+	for i := range s.buckets {
+		s.buckets[i] = -1
+		s.tails[i] = -1
+	}
+	s.mask = int64(nb - 1)
+	s.widthLog = w
+	s.curDay = int64(s.now) >> w
+	s.calCount = 0
+	s.longScans = 0
+	s.minCache = -1
+	for _, idx := range pending {
+		s.place(idx)
+	}
+	// Overflow events may now fall inside the (wider or deeper) calendar
+	// window; findMin migrates them lazily.
+}
+
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // already ran, or was already cancelled, is a no-op and returns false.
 func (s *Simulator) Cancel(id EventID) bool {
@@ -151,37 +396,139 @@ func (s *Simulator) Cancel(id EventID) bool {
 		return false
 	}
 	sl := &s.slots[idx]
-	if sl.gen != int32(uint64(id)>>32) || sl.heapIndex < 0 {
+	if sl.gen != int32(uint64(id)>>32) || sl.loc == locFree {
 		return false
 	}
-	s.removeAt(int(sl.heapIndex))
+	if sl.loc == locOverflow {
+		s.removeOverflowAt(int(sl.heapIndex))
+	} else {
+		s.removeBucket(idx)
+	}
+	if s.minCache == idx {
+		s.minCache = -1
+	}
 	s.freeSlot(idx)
+	if n := len(s.buckets); s.calCount+len(s.over) < n/4 && n > minBuckets {
+		s.rebuild(n / 2)
+	}
 	return true
+}
+
+// findMin locates the earliest pending event and returns its slot index,
+// or -1 when none remain. It migrates newly-eligible overflow events into
+// the calendar and may advance curDay past empty days (safe: place rewinds
+// curDay if an insert lands behind it).
+func (s *Simulator) findMin() int32 {
+	if s.minCache >= 0 {
+		return s.minCache
+	}
+	// Pull overflow events that now fit in the calendar window.
+	horizon := s.curDay + int64(len(s.buckets))
+	for len(s.over) > 0 && int64(s.over[0].at)>>s.widthLog < horizon {
+		s.migrateOverflowMin()
+	}
+	if s.calCount == 0 {
+		if len(s.over) == 0 {
+			return -1
+		}
+		// Jump the calendar to the overflow minimum and migrate.
+		s.curDay = int64(s.over[0].at) >> s.widthLog
+		horizon = s.curDay + int64(len(s.buckets))
+		for len(s.over) > 0 && int64(s.over[0].at)>>s.widthLog < horizon {
+			s.migrateOverflowMin()
+		}
+	}
+	// Scan days from curDay. Every calendar event lives in
+	// [curDay, curDay+nb) except after a curDay rewind, where a stale
+	// entry may sit beyond one full year; fall back to a direct bucket
+	// sweep in that rare case.
+	nb := int64(len(s.buckets))
+	for day := s.curDay; day < s.curDay+nb; day++ {
+		head := s.buckets[day&s.mask]
+		if head < 0 {
+			continue
+		}
+		if int64(s.slots[head].at)>>s.widthLog == day {
+			s.curDay = day
+			s.minCache = head
+			return head
+		}
+	}
+	// Direct search: minimum over bucket heads (each list is sorted).
+	var best int32 = -1
+	for _, head := range s.buckets {
+		if head < 0 {
+			continue
+		}
+		if best < 0 {
+			best = head
+			continue
+		}
+		h, b := &s.slots[head], &s.slots[best]
+		if h.at < b.at || (h.at == b.at && h.seq < b.seq) {
+			best = head
+		}
+	}
+	if best >= 0 {
+		s.curDay = int64(s.slots[best].at) >> s.widthLog
+		s.minCache = best
+	}
+	return best
+}
+
+// migrateOverflowMin moves the overflow heap's minimum into the calendar.
+func (s *Simulator) migrateOverflowMin() {
+	idx := s.over[0].slot
+	s.removeOverflowAt(0)
+	sl := &s.slots[idx]
+	day := int64(sl.at) >> s.widthLog
+	if day < s.curDay {
+		s.curDay = day
+	}
+	s.insertBucket(idx, int(day&s.mask))
+	s.calCount++
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when no events remain.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	idx := s.findMin()
+	if idx < 0 {
 		return false
 	}
-	top := s.heap[0]
-	n := len(s.heap) - 1
-	if n > 0 {
-		s.heap[0] = s.heap[n]
-		s.heap = s.heap[:n]
-		s.siftDown(0)
-	} else {
-		s.heap = s.heap[:0]
-	}
-	if top.at < s.now {
+	sl := &s.slots[idx]
+	if sl.at < s.now {
 		panic("sim: time went backwards")
 	}
-	fn := s.slots[top.slot].fn
-	s.freeSlot(top.slot)
-	s.now = top.at
+	day := int64(sl.at) >> s.widthLog
+	next := sl.next
+	s.removeBucket(idx)
+	// Same-day shortcut: the popped event's bucket successor is the global
+	// minimum if it shares the day — every day maps to exactly one bucket,
+	// all pending events sit at days >= the popped one, and bucket lists
+	// are sorted. Consecutive same-day pops then skip the day scan.
+	if next >= 0 && int64(s.slots[next].at)>>s.widthLog == day {
+		s.curDay = day
+		s.minCache = next
+	} else {
+		s.minCache = -1
+	}
+	at := sl.at
+	fn, afn, arg := sl.fn, sl.afn, sl.arg
+	s.freeSlot(idx)
+	// Width tuning: track the average gap between consecutive event times.
+	// Zero gaps count — a workload dominated by same-time tranches needs
+	// narrow buckets so a tranche has a bucket (nearly) to itself and
+	// mixed-delay inserts don't share one giant sorted list.
+	s.gapEMA += (float64(at-s.lastPopAt) - s.gapEMA) * 0.05
+	s.lastPopAt = at
+	s.now = at
 	s.executed++
-	fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -198,11 +545,32 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(t Time) {
 	s.running = true
 	defer func() { s.running = false }()
-	for len(s.heap) > 0 && s.heap[0].at <= t {
+	for {
+		idx := s.findMin()
+		if idx < 0 || s.slots[idx].at > t {
+			break
+		}
 		s.Step()
 	}
 	if t > s.now {
 		s.now = t
+	}
+}
+
+// RunBefore executes every event with a timestamp strictly below t, leaving
+// the clock at the last executed event (not advanced to t). This is the
+// window-execution primitive of the conservative parallel engine (see
+// Group): a partition may safely run all events below the group's lower
+// bound plus lookahead.
+func (s *Simulator) RunBefore(t Time) {
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		idx := s.findMin()
+		if idx < 0 || s.slots[idx].at >= t {
+			return
+		}
+		s.Step()
 	}
 }
 
@@ -212,10 +580,11 @@ func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
 // NextEventTime returns the timestamp of the earliest pending event and
 // whether one exists.
 func (s *Simulator) NextEventTime() (Time, bool) {
-	if len(s.heap) == 0 {
+	idx := s.findMin()
+	if idx < 0 {
 		return 0, false
 	}
-	return s.heap[0].at, true
+	return s.slots[idx].at, true
 }
 
 // Stranded reports the number of processes that are parked waiting for a
@@ -236,22 +605,35 @@ func (s *Simulator) LiveProcs() int { return s.procs }
 func (s *Simulator) freeSlot(idx int32) {
 	sl := &s.slots[idx]
 	sl.fn = nil
+	sl.afn = nil
+	sl.loc = locFree
 	sl.heapIndex = -1
 	sl.gen++
 	sl.next = s.free
 	s.free = idx
 }
 
-// removeAt deletes the heap entry at index i, preserving heap order.
-func (s *Simulator) removeAt(i int) {
-	n := len(s.heap) - 1
+// --- overflow heap (4-ary min-heap over value entries) ---
+
+func (s *Simulator) pushOverflow(idx int32) {
+	sl := &s.slots[idx]
+	sl.loc = locOverflow
+	sl.heapIndex = int32(len(s.over))
+	s.over = append(s.over, event{at: sl.at, seq: sl.seq, slot: idx})
+	s.siftUp(len(s.over) - 1)
+}
+
+// removeOverflowAt deletes the heap entry at index i, preserving heap
+// order. The removed slot's location is left for the caller to set.
+func (s *Simulator) removeOverflowAt(i int) {
+	n := len(s.over) - 1
 	if i == n {
-		s.heap = s.heap[:n]
+		s.over = s.over[:n]
 		return
 	}
-	moved := s.heap[n]
-	s.heap[i] = moved
-	s.heap = s.heap[:n]
+	moved := s.over[n]
+	s.over[i] = moved
+	s.over = s.over[:n]
 	s.slots[moved.slot].heapIndex = int32(i)
 	// The moved entry may need to travel either direction.
 	s.siftDown(i)
@@ -264,26 +646,26 @@ func (s *Simulator) removeAt(i int) {
 // the root. The 4-ary layout keeps the tree shallow (log4 n levels), and
 // comparisons read the (at, seq) key inline from the entry values.
 func (s *Simulator) siftUp(i int) {
-	e := s.heap[i]
+	e := s.over[i]
 	for i > 0 {
 		parent := (i - 1) >> 2
-		p := s.heap[parent]
+		p := s.over[parent]
 		if p.at < e.at || (p.at == e.at && p.seq < e.seq) {
 			break
 		}
-		s.heap[i] = p
+		s.over[i] = p
 		s.slots[p.slot].heapIndex = int32(i)
 		i = parent
 	}
-	s.heap[i] = e
+	s.over[i] = e
 	s.slots[e.slot].heapIndex = int32(i)
 }
 
 // siftDown restores heap order for the entry at index i by moving it toward
 // the leaves, always descending into the smallest of up to four children.
 func (s *Simulator) siftDown(i int) {
-	e := s.heap[i]
-	n := len(s.heap)
+	e := s.over[i]
+	n := len(s.over)
 	for {
 		first := i<<2 + 1
 		if first >= n {
@@ -295,19 +677,19 @@ func (s *Simulator) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if s.heap[c].at < s.heap[best].at ||
-				(s.heap[c].at == s.heap[best].at && s.heap[c].seq < s.heap[best].seq) {
+			if s.over[c].at < s.over[best].at ||
+				(s.over[c].at == s.over[best].at && s.over[c].seq < s.over[best].seq) {
 				best = c
 			}
 		}
-		b := s.heap[best]
+		b := s.over[best]
 		if e.at < b.at || (e.at == b.at && e.seq < b.seq) {
 			break
 		}
-		s.heap[i] = b
+		s.over[i] = b
 		s.slots[b.slot].heapIndex = int32(i)
 		i = best
 	}
-	s.heap[i] = e
+	s.over[i] = e
 	s.slots[e.slot].heapIndex = int32(i)
 }

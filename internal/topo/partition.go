@@ -1,0 +1,112 @@
+package topo
+
+import "fmt"
+
+// PartitionSwitches splits a wiring plan's switches into k partitions for
+// the conservative parallel engine, returning one partition index per
+// switch (aligned with SwitchPorts).
+//
+// The cut follows the plan's structure: leaf switches — and, via their
+// attachment, the NICs and hosts below them — are divided into k
+// contiguous, balanced blocks in switch-index order, so a partition is a
+// physically adjacent slice of the machine and most traffic (anything
+// within one leaf crossbar) never crosses a partition boundary. Each
+// non-leaf switch then joins the partition that owns the plurality of its
+// lower-level trunk neighbors (lowest partition index on ties), walking
+// tiers bottom-up so spine assignment is settled before core. Every
+// inter-partition path therefore crosses at least one trunk cable, whose
+// propagation delay is the engine's lookahead.
+//
+// The assignment is a pure function of the plan and k — no randomness, no
+// iteration-order dependence — so the same spec always produces the same
+// cut, which the determinism guard relies on.
+func PartitionSwitches(t *Topology, k int) ([]int, error) {
+	n := len(t.SwitchPorts)
+	if k < 1 {
+		return nil, fmt.Errorf("topo: partition count %d < 1", k)
+	}
+	leaves := 0
+	maxLevel := 0
+	for _, lv := range t.Levels {
+		if lv == 0 {
+			leaves++
+		}
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	if k > leaves {
+		return nil, fmt.Errorf("topo: %d partitions but only %d leaf switches", k, leaves)
+	}
+	assign := make([]int, n)
+	// Leaf blocks: leaf j (in switch-index order) goes to partition
+	// j*k/leaves, the same balanced split runner.Map uses for work.
+	j := 0
+	for i, lv := range t.Levels {
+		if lv == 0 {
+			assign[i] = j * k / leaves
+			j++
+		} else {
+			assign[i] = -1
+		}
+	}
+	// Upper tiers: plurality vote over already-assigned lower neighbors.
+	votes := make([]int, k)
+	for lv := 1; lv <= maxLevel; lv++ {
+		for i, l := range t.Levels {
+			if l != lv {
+				continue
+			}
+			for v := range votes {
+				votes[v] = 0
+			}
+			seen := false
+			for _, tr := range t.Trunks {
+				var other int
+				switch {
+				case tr.A == i:
+					other = tr.B
+				case tr.B == i:
+					other = tr.A
+				default:
+					continue
+				}
+				if t.Levels[other] == lv-1 && assign[other] >= 0 {
+					votes[assign[other]]++
+					seen = true
+				}
+			}
+			best := 0
+			for v := 1; v < k; v++ {
+				if votes[v] > votes[best] {
+					best = v
+				}
+			}
+			if !seen {
+				// A switch with no downward trunks (degenerate plans):
+				// fall back to partition 0.
+				best = 0
+			}
+			assign[i] = best
+		}
+	}
+	for i, p := range assign {
+		if p < 0 {
+			return nil, fmt.Errorf("topo: switch %d (level %d) left unassigned", i, t.Levels[i])
+		}
+	}
+	return assign, nil
+}
+
+// CrossPartitionTrunks counts the trunks whose endpoints land in different
+// partitions under the given assignment — the cut size, reported by
+// benchmarks to show how much traffic pays the synchronization cost.
+func CrossPartitionTrunks(t *Topology, assign []int) int {
+	n := 0
+	for _, tr := range t.Trunks {
+		if assign[tr.A] != assign[tr.B] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPartitionSwitchesClos pins the cut's invariants on real fabrics:
+// every switch assigned, leaves balanced into contiguous blocks, the
+// assignment deterministic, and the NICs under one leaf never split.
+func TestPartitionSwitchesClos(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: Clos2, Nodes: 32, Radix: 8},
+		{Kind: Clos3, Nodes: 128, Radix: 8},
+		{Kind: Clos3, Nodes: 1024, Radix: 16},
+	} {
+		top := MustBuild(spec)
+		leaves := 0
+		for _, lv := range top.Levels {
+			if lv == 0 {
+				leaves++
+			}
+		}
+		for _, k := range []int{1, 2, 3, 4, 8} {
+			if k > leaves {
+				continue
+			}
+			assign, err := PartitionSwitches(top, k)
+			if err != nil {
+				t.Fatalf("%+v k=%d: %v", spec, k, err)
+			}
+			if len(assign) != len(top.SwitchPorts) {
+				t.Fatalf("%+v k=%d: %d assignments for %d switches", spec, k, len(assign), len(top.SwitchPorts))
+			}
+			// Balanced, monotone leaf blocks covering 0..k-1.
+			counts := make([]int, k)
+			prev := 0
+			for i, lv := range top.Levels {
+				p := assign[i]
+				if p < 0 || p >= k {
+					t.Fatalf("%+v k=%d: switch %d assigned to %d", spec, k, i, p)
+				}
+				if lv != 0 {
+					continue
+				}
+				counts[p]++
+				if p < prev {
+					t.Fatalf("%+v k=%d: leaf blocks not contiguous (switch %d: %d after %d)", spec, k, i, p, prev)
+				}
+				prev = p
+			}
+			for p, c := range counts {
+				if c < leaves/k || c > (leaves+k-1)/k {
+					t.Errorf("%+v k=%d: partition %d owns %d leaves of %d", spec, k, p, c, leaves)
+				}
+			}
+			// Deterministic.
+			again, err := PartitionSwitches(top, k)
+			if err != nil || !reflect.DeepEqual(assign, again) {
+				t.Fatalf("%+v k=%d: assignment not deterministic", spec, k)
+			}
+			// The cut only pays on trunks, and k=1 pays nothing.
+			cut := CrossPartitionTrunks(top, assign)
+			if k == 1 && cut != 0 {
+				t.Errorf("%+v k=1: cut %d trunks, want 0", spec, cut)
+			}
+			if k > 1 && cut == 0 {
+				t.Errorf("%+v k=%d: cut is empty, partitions cannot communicate", spec, k)
+			}
+		}
+	}
+}
+
+func TestPartitionSwitchesRejectsBadK(t *testing.T) {
+	top := MustBuild(Spec{Kind: Clos2, Nodes: 32, Radix: 8})
+	if _, err := PartitionSwitches(top, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	leaves := 0
+	for _, lv := range top.Levels {
+		if lv == 0 {
+			leaves++
+		}
+	}
+	if _, err := PartitionSwitches(top, leaves+1); err == nil {
+		t.Error("k > leaf count accepted")
+	}
+}
