@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures examples clean
+.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures scenarios examples clean
 
 all: build vet test
 
@@ -29,22 +29,25 @@ race-partition:
 	$(GO) test -race -count=1 -run 'Partition|TieBreak|Group|Pool' \
 		./internal/sim ./internal/runner ./internal/cluster ./internal/network ./internal/topo
 
-# Short fuzzing pass over the wire codec and the duplicate-suppression
-# window (go's fuzzer allows one target per invocation). Checked-in seed
-# corpora live in internal/mcp/testdata/fuzz/.
+# Short fuzzing pass over the wire codec, the duplicate-suppression window
+# and the fault-plan validator (go's fuzzer allows one target per
+# invocation). Checked-in seed corpora live in internal/mcp/testdata/fuzz/
+# and internal/fault/testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzSeqWindow$$ -fuzztime=$(FUZZTIME) ./internal/mcp
+	$(GO) test -run=^$$ -fuzz=^FuzzPlanValidate$$ -fuzztime=$(FUZZTIME) ./internal/fault
 
-# Coverage with per-package floors. The observability layer (internal/trace)
-# and the analytic model (internal/model) are the packages most likely to
-# rot silently — their statement coverage must stay at or above COVER_FLOOR.
+# Coverage with per-package floors. The observability layer (internal/trace),
+# the analytic model (internal/model) and the fault injector (internal/fault)
+# are the packages most likely to rot silently — their statement coverage
+# must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 80.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=count ./...
 	$(GO) tool cover -func=coverage.out | tail -1
-	@for pkg in gmsim/internal/trace gmsim/internal/model; do \
+	@for pkg in gmsim/internal/trace gmsim/internal/model gmsim/internal/fault; do \
 		pct="$$(awk -v p="$$pkg/" \
 			'index($$1, p) == 1 { tot += $$2; if ($$3 > 0) cov += $$2 } \
 			END { printf "%.1f", tot ? 100 * cov / tot : 0 }' coverage.out)"; \
@@ -83,6 +86,17 @@ BASE ?= BENCH_sim.json
 HEAD ?= BENCH_sim.json
 benchgate:
 	$(GO) run ./cmd/benchgate -base $(BASE) -head $(HEAD)
+
+# Chaos scenario fleet: the crash-fault regression matrix (topology ×
+# barrier kind × fault plan × seed), diffed against the golden summaries in
+# internal/experiments/testdata/scenarios. On divergence each offending
+# cell's got-summary is written to $$SCENARIO_DIFF_DIR (when set) for CI to
+# upload. Regenerate intentionally changed goldens with
+#   go test ./internal/experiments -run TestScenarioFleetGolden -update-scenarios
+scenarios:
+	$(GO) test -count=1 -v -timeout 10m \
+		-run 'TestScenarioFleetGolden|TestZeroFaultScenariosMatchFigure5|TestGBBarrierSurvivesNodeCrash|TestScenarioSummariesDeterministic' \
+		./internal/experiments
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,7 @@
 //	barrierbench [-fig 5a|5b|5c|5d|mpi|all] [-iters N] [-parallel W]
 //	barrierbench -fig rel [-loss 0,0.5,1,2,5] [-faultplan none|flap|corrupt|chaos] [-nodes N] [-dim D]
 //	barrierbench -fig flap [-nodes N] [-dim D] [-outage US]
+//	barrierbench -fig crash [-faultplan crash|partition] [-nodes N] [-dim D]
 //	barrierbench -fig topo [-topo single,star,clos3] [-sizes 16,...,1024] [-radix R]
 //	barrierbench -fig contend [-radix R] [-bytes B]
 //	barrierbench -dumptopo FILE [-topo KIND] [-nodes N] [-radix R]
@@ -26,6 +27,13 @@
 // rel sweeps packet loss over the reliable Section-4.4 barriers against
 // the host baseline (optionally on top of a named base fault plan), and
 // -fig flap measures recovery latency after a mid-barrier link outage.
+//
+// -fig crash goes further, into fail-stop faults: with failure detection
+// enabled, a node is killed (-faultplan crash) or its cable permanently cut
+// (-faultplan partition) mid-run, and the survivors repair the barrier
+// around the corpse. The figure prints both scenario summaries (survivor
+// sets, repair work, drain time) and the crash-detection latency table as
+// a function of the firmware retry budget.
 //
 // The topology figures go beyond the paper's single 16-port crossbar:
 // -fig topo sweeps the barriers over declarative multi-switch fabrics
@@ -54,15 +62,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, topo, contend, all")
+	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, crash, topo, contend, all")
 	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	loss := flag.String("loss", "0,0.5,1,2,5", "comma-separated per-hop loss percentages for -fig rel")
-	faultplan := flag.String("faultplan", "none", "base fault plan for -fig rel: none, flap, corrupt, chaos")
-	nodes := flag.Int("nodes", 16, "cluster size for -fig rel, -fig flap and -dumptopo")
-	dim := flag.Int("dim", 2, "GB tree dimension for -fig rel and -fig flap")
+	faultplan := flag.String("faultplan", "none", "base fault plan: none, flap, corrupt, chaos for -fig rel; crash, partition for -fig crash")
+	nodes := flag.Int("nodes", 16, "cluster size for -fig rel, -fig flap, -fig crash and -dumptopo")
+	dim := flag.Int("dim", 2, "GB tree dimension for -fig rel, -fig flap and -fig crash")
 	outage := flag.Float64("outage", 200, "link outage duration in microseconds for -fig flap")
-	seed := flag.Int64("seed", 42, "fault plan seed for -fig rel and -fig flap")
+	seed := flag.Int64("seed", 42, "fault plan seed for -fig rel, -fig flap and -fig crash")
 	topoList := flag.String("topo", "single,star,clos3", "comma-separated topology kinds for -fig topo (single, twoswitch, star, clos2, clos3); first entry is used by -dumptopo")
 	radix := flag.Int("radix", topo.DefaultRadix, "switch port count for -fig topo, -fig contend and -dumptopo")
 	sizesFlag := flag.String("sizes", "16,32,64,128,256,512,1024", "comma-separated node counts for -fig topo")
@@ -122,6 +130,8 @@ func main() {
 		printReliability(*nodes, pcts, *dim, *iters, *faultplan, base)
 	case "flap":
 		printFlap(*nodes, *dim, sim.FromMicros(*outage), *seed)
+	case "crash":
+		printCrash(*nodes, *dim, *faultplan, *seed)
 	case "topo":
 		sizes, err := parseIntList(*sizesFlag)
 		if err != nil {
@@ -411,6 +421,57 @@ func printFlap(nodes, dim int, outage sim.Time, seed int64) {
 	t.AddRow("faulted barrier (us)", r.FaultedMicros)
 	t.AddRow("recovery cost (us)", r.RecoveryMicros)
 	t.AddRow("repair retransmissions", r.Retrans)
+	fmt.Print(t.String())
+}
+
+// printCrash runs the crash-tolerance figure: a PE and a GB scenario on n
+// nodes with failure detection enabled, against a fail-stop of node n/2 at
+// t=700us — a NIC crash (-faultplan crash) or a persistent cable cut
+// (-faultplan partition) — then the detection-latency sweep across firmware
+// retry budgets. Survivors repair the barrier around the corpse and keep
+// completing; the summaries show who died, who agreed, and what it cost.
+func printCrash(n, dim int, planName string, seed int64) {
+	victim := network.NodeID(n / 2)
+	at := sim.FromMicros(700)
+	var mkPlan func() *fault.Plan
+	switch planName {
+	case "crash", "none", "":
+		planName = "crash"
+		mkPlan = func() *fault.Plan {
+			return &fault.Plan{Seed: seed, Crashes: []fault.Crash{{Node: victim, At: at}}}
+		}
+	case "partition":
+		mkPlan = func() *fault.Plan {
+			return &fault.Plan{Seed: seed, Cuts: []fault.Cut{{Links: fault.NodeLinks(victim), At: at}}}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "-fig crash wants -faultplan crash or partition, not %q\n", planName)
+		os.Exit(2)
+	}
+	mk := func(alg mcp.BarrierAlg, d int, name string) experiments.Scenario {
+		cfg := cluster.DefaultConfig(n)
+		cfg.ReliableBarrier = true
+		cfg.DetectFailures = true
+		cfg.Firmware = experiments.DetectionFirmware()
+		cfg.Fault = mkPlan()
+		return experiments.Scenario{Name: name, Cfg: cfg, Alg: alg, Dim: d}
+	}
+	sums := experiments.RunScenarios([]experiments.Scenario{
+		mk(mcp.PE, 0, fmt.Sprintf("pe%d-%s%d", n, planName, victim)),
+		mk(mcp.GB, dim, fmt.Sprintf("gb%d-%s%d", n, planName, victim)),
+	})
+	fmt.Printf("Crash tolerance: %d nodes, LANai 4.3, %s of node %d at t=700us\n\n", n, planName, victim)
+	for _, s := range sums {
+		fmt.Print(s.String())
+	}
+	fmt.Println()
+	pts := experiments.DetectionLatencySweep(n, dim, []int{4, 6, 8}, []float64{100, 200, 400})
+	t := stats.NewTable(
+		fmt.Sprintf("Crash-detection latency vs retry budget (%d nodes, GB dim %d, node %d crashed mid-run)", n, dim, victim),
+		"MaxRetries", "RTO (us)", "Detect (us)", "Probes", "Declared")
+	for _, p := range pts {
+		t.AddRow(p.MaxRetries, p.RTOMicros, p.DetectMicros, p.Probes, p.Declared)
+	}
 	fmt.Print(t.String())
 }
 

@@ -50,6 +50,14 @@ type Config struct {
 	ReliableBarrier       bool
 	ClearUnexpectedOnOpen bool
 	LoopbackFlag          bool
+	// DetectFailures enables the firmware's crash-fault detector: retry
+	// exhaustion and barrier-watchdog probes declare unresponsive peers
+	// dead, and in-flight barriers repair around them (see mcp.Config.
+	// DetectFailures). Requires ReliableBarrier; pair with a positive
+	// Firmware.BarrierTimeout to also detect peers the node is only
+	// waiting on. Off by default — fail-free runs are bit-identical with
+	// the flag on or off, but off documents the paper's fail-free model.
+	DetectFailures bool
 	// Fault optionally attaches a fault-injection plan (see internal/fault).
 	// The plan is pure data and may be shared across clusters; each cluster
 	// derives its own random streams from it. A nil or empty plan changes
@@ -59,9 +67,13 @@ type Config struct {
 	// partitions, each with its own event queue, and runs them as a
 	// conservative parallel simulation synchronized every trunk-latency
 	// window (see sim.Group). 0 or 1 means the classic serial engine.
-	// Partitioned runs are incompatible with fault plans and tracing
-	// (Validate/SetObserver enforce this) and require a topology with at
-	// least Partitions leaf switches.
+	// Partitioned runs are incompatible with tracing (SetObserver
+	// enforces this) and require a topology with at least Partitions leaf
+	// switches. Fault plans are allowed as long as every faulted link is
+	// partition-internal: node-scoped rules, crashes, stalls and
+	// slowdowns always qualify (a NIC's cable lives in its leaf switch's
+	// partition), while All-selector rules and switch crashes are
+	// rejected by Validate when they would touch a cross-partition trunk.
 	Partitions int
 }
 
@@ -149,15 +161,91 @@ func (cfg Config) Validate() error {
 	if err != nil {
 		return fmt.Errorf("cluster: %d nodes do not fit the topology: %w", cfg.Nodes, err)
 	}
-	if cfg.Partitions > 1 {
-		if cfg.Fault != nil {
-			return fmt.Errorf("cluster: fault injection requires the serial engine (Partitions=%d)", cfg.Partitions)
+	if cfg.Fault != nil {
+		if err := cfg.Fault.Validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
 		}
-		if _, err := topo.PartitionSwitches(t, cfg.Partitions); err != nil {
+	}
+	if cfg.Partitions > 1 {
+		assign, err := topo.PartitionSwitches(t, cfg.Partitions)
+		if err != nil {
 			return fmt.Errorf("cluster: %w", err)
 		}
 		if cfg.Link.Latency <= 0 {
 			return fmt.Errorf("cluster: partitioned runs need a positive link latency for lookahead")
+		}
+		if err := partitionSafePlan(cfg.Fault, t, assign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionSafePlan checks that a fault plan only touches partition-internal
+// links. A cross-partition trunk carries the conservative engine's
+// synchronization traffic; faulting it would let one partition's loop mutate
+// link state another loop reads mid-window. Node-scoped rules, crashes,
+// stalls and slowdowns are always safe — a NIC's cable connects it to its
+// own leaf switch, which is by construction in the NIC's partition.
+func partitionSafePlan(p *fault.Plan, t *topo.Topology, assign []int) error {
+	if p.Empty() {
+		return nil
+	}
+	// The first trunk whose endpoints landed in different partitions, for
+	// naming in errors. No crossing trunks means every link is internal and
+	// any plan is safe.
+	crossing := -1
+	for i, tr := range t.Trunks {
+		if assign[tr.A] != assign[tr.B] {
+			crossing = i
+			break
+		}
+	}
+	if crossing >= 0 {
+		tr := t.Trunks[crossing]
+		name := fmt.Sprintf("trunk sw%d:p%d<->sw%d:p%d (partitions %d|%d)",
+			tr.A, tr.APort, tr.B, tr.BPort, assign[tr.A], assign[tr.B])
+		all := func(kind string, s fault.Selector) error {
+			if !s.All {
+				return nil
+			}
+			return fmt.Errorf("cluster: fault plan %s rule selects all links, which includes cross-partition %s; scope the rule to nodes or run serial", kind, name)
+		}
+		for _, r := range p.Loss {
+			if err := all("loss", r.Links); err != nil {
+				return err
+			}
+		}
+		for _, r := range p.Corrupt {
+			if err := all("corrupt", r.Links); err != nil {
+				return err
+			}
+		}
+		for _, r := range p.Duplicate {
+			if err := all("duplicate", r.Links); err != nil {
+				return err
+			}
+		}
+		for _, r := range p.Flaps {
+			if err := all("flap", r.Links); err != nil {
+				return err
+			}
+		}
+		for _, r := range p.Cuts {
+			if err := all("cut", r.Links); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sc := range p.SwitchCrashes {
+		if sc.Switch < 0 || sc.Switch >= len(assign) {
+			return fmt.Errorf("cluster: fault plan crashes switch %d; topology has %d switches", sc.Switch, len(assign))
+		}
+		for _, tr := range t.Trunks {
+			if (tr.A == sc.Switch || tr.B == sc.Switch) && assign[tr.A] != assign[tr.B] {
+				return fmt.Errorf("cluster: fault plan crashes switch %d, which would down cross-partition trunk sw%d:p%d<->sw%d:p%d (partitions %d|%d); run serial or crash a leaf switch",
+					sc.Switch, tr.A, tr.APort, tr.B, tr.BPort, assign[tr.A], assign[tr.B])
+			}
 		}
 	}
 	return nil
@@ -207,6 +295,7 @@ func New(cfg Config) *Cluster {
 		mcfg.ReliableBarrier = cfg.ReliableBarrier
 		mcfg.ClearUnexpectedOnOpen = cfg.ClearUnexpectedOnOpen
 		mcfg.LoopbackFlag = cfg.LoopbackFlag
+		mcfg.DetectFailures = cfg.DetectFailures
 		m := mcp.New(nic, mcfg)
 		place := top.NICs[i]
 		iface := f.AttachNIC(node, sws[place.Switch], place.Port, cfg.Link, m.HandleDelivered)
@@ -223,17 +312,34 @@ func New(cfg Config) *Cluster {
 		c.nics = append(c.nics, nic)
 		c.mcps = append(c.mcps, m)
 	}
+	if c.group != nil {
+		if _, err := f.Partition(c.swParts, c.sims, c.group); err != nil {
+			panic("cluster: " + err.Error())
+		}
+	}
+	// Fault attachment happens after partitioning so the injector can
+	// schedule each link's events on the loop that owns the link.
 	if cfg.Fault != nil {
 		byNode := make(map[network.NodeID]*lanai.NIC, len(c.nics))
 		for i, nic := range c.nics {
 			byNode[network.NodeID(i)] = nic
 		}
-		c.inj = fault.Attach(cfg.Fault, f, byNode)
-	}
-	if c.group != nil {
-		if _, err := f.Partition(c.swParts, c.sims, c.group); err != nil {
+		inj, err := fault.AttachChecked(cfg.Fault, f, byNode)
+		if err != nil {
 			panic("cluster: " + err.Error())
 		}
+		c.inj = inj
+		// A node crash must also stop the node's host processes, or the
+		// engine would report them stranded (they wait on a NIC that will
+		// never answer). Processes spawn after New returns, so scan at
+		// crash time.
+		c.inj.OnNodeCrash(func(n network.NodeID) {
+			for _, hp := range c.procs {
+				if hp.Node() == n {
+					hp.Proc().Kill()
+				}
+			}
+		})
 	}
 	return c
 }

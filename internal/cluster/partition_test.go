@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gmsim/internal/core"
@@ -109,14 +110,104 @@ func TestPartitionedBarrierMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestPartitionedRejectsSerialOnlyFeatures pins the gates: fault plans,
-// phase recording, tracing observers, and RunUntil refuse to combine with
-// the partitioned engine.
+// TestPartitionedChaosMatchesSerial extends the determinism guard to
+// faulted runs: a node-scoped chaos plan — stochastic loss and duplication,
+// a link flap, a permanent cut, and a mid-run node crash, with failure
+// detection on — must produce bit-identical per-rank completion times and
+// cluster metrics on the serial engine and on the partitioned engine at
+// every worker count. Fault events are scheduled on the loop owning each
+// link, and detection timers live on the NIC's own loop, so engine choice
+// cannot reorder them.
+func TestPartitionedChaosMatchesSerial(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 7,
+		Loss: []fault.LossRule{
+			{Links: fault.NodeLinks(6), Window: fault.Always, Rate: 0.02},
+		},
+		Duplicate: []fault.DupRule{
+			{Links: fault.NodeLinks(11), Window: fault.Always, Rate: 0.02},
+		},
+		Flaps: []fault.Flap{{
+			Links:  fault.NodeLinks(13),
+			DownAt: sim.FromMicros(400),
+			UpAt:   sim.FromMicros(650),
+		}},
+		Cuts:    []fault.Cut{{Links: fault.NodeLinks(3), At: sim.FromMicros(900)}},
+		Crashes: []fault.Crash{{Node: 17, At: sim.FromMicros(700)}},
+	}
+	mk := func(partitions int) Config {
+		cfg := clos2Config(32, 8, partitions)
+		cfg.DetectFailures = true
+		cfg.Firmware.RetransTimeout = sim.FromMicros(200)
+		cfg.Firmware.RetransBackoffMax = sim.FromMicros(1600)
+		cfg.Firmware.MaxRetries = 6
+		cfg.Firmware.BarrierTimeout = sim.FromMicros(500)
+		cfg.Fault = plan
+		return cfg
+	}
+	const iters = 8
+	for _, alg := range []mcp.BarrierAlg{mcp.PE, mcp.GB} {
+		serialT, serialM := barrierTimes(t, mk(1), 0, iters, alg)
+		for _, workers := range []int{1, 2} {
+			partT, partM := barrierTimes(t, mk(2), workers, iters, alg)
+			tag := fmt.Sprintf("%v/workers=%d", alg, workers)
+			if !reflect.DeepEqual(serialT, partT) {
+				t.Fatalf("%s: chaos-plan completion times diverge from serial", tag)
+			}
+			if !reflect.DeepEqual(serialM, partM) {
+				for k, v := range serialM {
+					if partM[k] != v {
+						t.Errorf("%s: metric %s = %d, serial %d", tag, k, partM[k], v)
+					}
+				}
+				t.Fatalf("%s: chaos-plan metrics diverge from serial", tag)
+			}
+		}
+	}
+}
+
+// TestPartitionedRejectsSerialOnlyFeatures pins the gates: fault rules
+// touching cross-partition trunks, phase recording, tracing observers, and
+// RunUntil refuse to combine with the partitioned engine — while
+// partition-internal fault rules are allowed.
 func TestPartitionedRejectsSerialOnlyFeatures(t *testing.T) {
 	cfg := clos2Config(32, 8, 2)
-	cfg.Fault = &fault.Plan{}
+	cfg.Fault = &fault.Plan{Loss: []fault.LossRule{{Links: fault.AllLinks(), Rate: 0.1}}}
 	if err := cfg.Validate(); err == nil {
-		t.Errorf("Validate accepted a fault plan on a partitioned cluster")
+		t.Errorf("Validate accepted an all-links plan on a partitioned cluster")
+	} else if !strings.Contains(err.Error(), "trunk") {
+		t.Errorf("all-links rejection does not name the offending trunk: %v", err)
+	}
+	// Crash a switch that sits on a cross-partition trunk: find one from
+	// the same assignment Validate computes.
+	spec, _ := cfg.topoSpec()
+	top := topo.MustBuild(spec)
+	assign, err := topo.PartitionSwitches(top, cfg.Partitions)
+	if err != nil {
+		t.Fatalf("PartitionSwitches: %v", err)
+	}
+	crossSwitch := -1
+	for _, tr := range top.Trunks {
+		if assign[tr.A] != assign[tr.B] {
+			crossSwitch = tr.A
+			break
+		}
+	}
+	if crossSwitch < 0 {
+		t.Fatalf("no cross-partition trunk in a %d-partition Clos2", cfg.Partitions)
+	}
+	cfg.Fault = &fault.Plan{SwitchCrashes: []fault.SwitchCrash{{Switch: crossSwitch, At: 100}}}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("Validate accepted a trunk-adjacent switch crash on a partitioned cluster")
+	} else if !strings.Contains(err.Error(), "trunk") {
+		t.Errorf("switch-crash rejection does not name the offending trunk: %v", err)
+	}
+	cfg.Fault = &fault.Plan{
+		Loss:    []fault.LossRule{{Links: fault.NodeLinks(3), Rate: 0.1}},
+		Crashes: []fault.Crash{{Node: 7, At: 1000}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected a node-scoped plan on a partitioned cluster: %v", err)
 	}
 
 	cl := New(clos2Config(32, 8, 2))

@@ -7,6 +7,7 @@ import (
 	"gmsim/internal/gm"
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/network"
 )
 
 // barrierPayload is the body of a host-based barrier message.
@@ -28,8 +29,10 @@ type Comm struct {
 
 	// barrierDone counts completed-but-unconsumed NIC barriers (observed
 	// while draining events for something else; at most one can be
-	// outstanding).
+	// outstanding). barrierDead queues, in the same order, the dead-node
+	// set each completion reported (nil on clean completions).
 	barrierDone int
+	barrierDead [][]network.NodeID
 
 	// tokCache remembers the last computed barrier neighborhood. Programs
 	// overwhelmingly run many barriers over one fixed group, and the
@@ -141,6 +144,7 @@ func (c *Comm) dispatch(ev mcp.HostEvent) {
 		c.arrivals = append(c.arrivals, ev.Src)
 	case mcp.BarrierDoneEvent:
 		c.barrierDone++
+		c.barrierDead = append(c.barrierDead, ev.DeadNodes)
 	case mcp.SentEvent:
 		// Send token returned; nothing to do at this layer.
 	}
@@ -223,7 +227,14 @@ func (c *Comm) BarrierMapped(p *host.Process, alg mcp.BarrierAlg, g Group, self,
 type PendingBarrier struct {
 	c    *Comm
 	done bool
+	// dead is the dead-node set the completion event carried (nil unless
+	// the barrier completed degraded under failure detection).
+	dead []network.NodeID
 }
+
+// Dead returns the fail-stopped nodes the completion event reported
+// (ascending; nil before completion or on a clean completion).
+func (pb *PendingBarrier) Dead() []network.NodeID { return pb.dead }
 
 // StartBarrier initiates a NIC-based barrier and returns immediately —
 // the fuzzy-barrier entry point (Sections 1 and 5.2: "because we separate
@@ -274,6 +285,8 @@ func (pb *PendingBarrier) takeDone() bool {
 	}
 	if pb.c.barrierDone > 0 {
 		pb.c.barrierDone--
+		pb.dead = pb.c.barrierDead[0]
+		pb.c.barrierDead = pb.c.barrierDead[1:]
 		pb.done = true
 	}
 	return pb.done

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+)
+
+// Degraded barrier completion (crash-fault tolerance). When the cluster
+// runs with failure detection (cluster.Config.DetectFailures), a NIC-based
+// barrier no longer hangs on a crashed participant: the firmware detects
+// the death, repairs the exchange around it, and completes among the
+// survivors in bounded time. The completion event then carries the dead
+// set, which this file surfaces to the program as a BarrierResult.
+
+// ErrDegradedBarrier is wrapped by BarrierResult.Err when a barrier
+// completed around one or more fail-stopped participants.
+var ErrDegradedBarrier = fmt.Errorf("core: barrier completed degraded (participants fail-stopped)")
+
+// BarrierResult reports how a checked barrier completed.
+type BarrierResult struct {
+	// Dead lists the fail-stopped nodes the NIC reported at completion,
+	// ascending. Nil on a clean completion.
+	Dead []network.NodeID
+	// Survivors lists the group ranks whose nodes were not reported dead
+	// (the caller's own rank included), in group order.
+	Survivors []int
+	// Err is non-nil when the barrier completed degraded: it wraps
+	// ErrDegradedBarrier and names the dead. The barrier itself still
+	// completed — among the survivors — so the caller chooses whether a
+	// degraded completion is an error for its purposes.
+	Err error
+}
+
+// Degraded reports whether the barrier completed around failures.
+func (r BarrierResult) Degraded() bool { return len(r.Dead) > 0 }
+
+// resultFor builds a BarrierResult from a completion's dead set.
+func resultFor(g Group, dead []network.NodeID) BarrierResult {
+	r := BarrierResult{Dead: dead}
+	if len(dead) == 0 {
+		r.Survivors = make([]int, len(g))
+		for i := range g {
+			r.Survivors[i] = i
+		}
+		return r
+	}
+	isDead := make(map[network.NodeID]bool, len(dead))
+	for _, n := range dead {
+		isDead[n] = true
+	}
+	for i, ep := range g {
+		if !isDead[ep.Node] {
+			r.Survivors = append(r.Survivors, i)
+		}
+	}
+	r.Err = fmt.Errorf("%w: dead=%v survivors=%d/%d",
+		ErrDegradedBarrier, dead, len(r.Survivors), len(g))
+	return r
+}
+
+// BarrierChecked runs a blocking NIC-based barrier and reports how it
+// completed: cleanly, or degraded around crashed participants. Unlike
+// Barrier, a degraded completion is not silent — the result carries the
+// dead set and the surviving ranks. The returned error is non-nil only
+// when the barrier could not run at all (bad group arguments); degraded
+// completion is reported through BarrierResult.Err.
+func (c *Comm) BarrierChecked(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (BarrierResult, error) {
+	pb, err := c.StartBarrierMapped(p, alg, g, self, dim, leafOf)
+	if err != nil {
+		return BarrierResult{}, err
+	}
+	pb.Wait(p)
+	return resultFor(g, pb.Dead()), nil
+}
+
+// BarrierWithRepair runs a NIC-based barrier and, when it completes
+// degraded, re-synchronizes the survivors with a host-level pairwise
+// exchange over the survivor group before returning. The NIC-level repair
+// guarantees bounded completion but weaker synchronization (a GB subtree
+// orphaned by its parent's death releases itself without hearing from the
+// main tree); the host-level pass restores the full all-arrived-before-
+// any-leaves guarantee among survivors. It relies on the survivors
+// agreeing on the dead set, which the dead-set gossip ensures for
+// single-crash scenarios. Plans that kill several nodes at nearly the same
+// instant can leave survivor views diverged mid-repair; that limitation is
+// documented in EXPERIMENTS.md, and such scenarios should use
+// BarrierChecked and reconcile membership at the application level.
+func (c *Comm) BarrierWithRepair(p *host.Process, alg mcp.BarrierAlg, g Group, self, dim int, leafOf []int) (BarrierResult, error) {
+	res, err := c.BarrierChecked(p, alg, g, self, dim, leafOf)
+	if err != nil {
+		return res, err
+	}
+	if !res.Degraded() {
+		return res, nil
+	}
+	// Build the survivor group and this rank's position in it.
+	sg := make(Group, 0, len(res.Survivors))
+	sself := -1
+	for i, rank := range res.Survivors {
+		if rank == self {
+			sself = i
+		}
+		sg = append(sg, g[rank])
+	}
+	if sself < 0 {
+		return res, fmt.Errorf("core: rank %d's own node is in the dead set", self)
+	}
+	if err := c.HostBarrierPE(p, sg, sself); err != nil {
+		return res, fmt.Errorf("core: survivor re-synchronization failed: %w", err)
+	}
+	return res, nil
+}

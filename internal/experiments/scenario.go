@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gmsim/internal/cluster"
+	"gmsim/internal/core"
+	"gmsim/internal/fault"
+	"gmsim/internal/gm"
+	"gmsim/internal/host"
+	"gmsim/internal/mcp"
+	"gmsim/internal/network"
+	"gmsim/internal/runner"
+	"gmsim/internal/sim"
+	"gmsim/internal/topo"
+)
+
+// Chaos scenario fleet: a regression matrix of topology × barrier kind ×
+// fault plan × seed. Every cell runs a fixed barrier workload against its
+// fault plan and folds the observable outcome — latency, completions,
+// recovery work, dead sets, survivor agreement, fault counters — into a
+// deterministic text summary. The golden files under testdata/scenarios
+// pin each summary bit-exactly; `make scenarios` re-runs the fleet and
+// diffs. Zero-fault cells double as the cost-of-idle-machinery check: their
+// latency must equal the Figure 5 measurement of the same configuration,
+// bit for bit (TestZeroFaultScenariosMatchFigure5).
+
+// Scenario is one cell of the chaos matrix.
+type Scenario struct {
+	// Name keys the golden file; keep it filesystem-safe.
+	Name string
+	// Cfg is the complete testbed, fault plan and engine choice included.
+	Cfg cluster.Config
+	// Alg and Dim pick the barrier; Warmup+Iters barriers run on every rank.
+	Alg           mcp.BarrierAlg
+	Dim           int
+	Warmup, Iters int
+}
+
+// ScenarioSummary is the deterministic outcome of one scenario run.
+type ScenarioSummary struct {
+	Name       string
+	Nodes      int
+	Partitions int
+	Alg        string
+
+	// MeanMicros averages rank 0's timed iterations; MaxIterMicros is its
+	// slowest single iteration — under a crash plan, the barrier that
+	// absorbed the detection latency. DrainMicros is the simulated instant
+	// the cluster went quiet: the bounded-completion witness.
+	MeanMicros    float64
+	MaxIterMicros float64
+	DrainMicros   float64
+
+	// Cluster-wide firmware counters.
+	Barriers   int64
+	Retrans    int64
+	Probes     int64
+	Declared   int64
+	Skipped    int64
+	Promotions int64
+	Repairs    int64
+
+	// Dead is rank 0's final-barrier dead set. Agree counts the finishing
+	// ranks whose final dead set matches rank 0's (a cut-off node
+	// legitimately disagrees: from its side of the partition, everyone else
+	// is dead). Finished counts ranks that completed all iterations —
+	// crashed ranks never do.
+	Dead     []network.NodeID
+	Agree    int
+	Finished int
+
+	// Faults is what the injector actually did.
+	Faults fault.Counters
+}
+
+// String renders the summary in the canonical golden-file form.
+func (s ScenarioSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: nodes=%d partitions=%d alg=%s\n",
+		s.Name, s.Nodes, s.Partitions, s.Alg)
+	fmt.Fprintf(&b, "  mean_us=%.3f max_iter_us=%.3f drain_us=%.3f\n",
+		s.MeanMicros, s.MaxIterMicros, s.DrainMicros)
+	fmt.Fprintf(&b, "  barriers=%d retrans=%d probes=%d declared=%d skipped=%d promotions=%d repairs=%d\n",
+		s.Barriers, s.Retrans, s.Probes, s.Declared, s.Skipped, s.Promotions, s.Repairs)
+	dead := "-"
+	if len(s.Dead) > 0 {
+		parts := make([]string, len(s.Dead))
+		for i, n := range s.Dead {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		dead = strings.Join(parts, ",")
+	}
+	fmt.Fprintf(&b, "  dead=%s agree=%d/%d finished=%d/%d\n", dead, s.Agree, s.Nodes, s.Finished, s.Nodes)
+	f := s.Faults
+	fmt.Fprintf(&b, "  faults: lost=%d downs=%d corrupted=%d truncated=%d duplicated=%d flaps=%d cuts=%d crashes=%d switch_crashes=%d stalls=%d\n",
+		f.Lost, f.LinkDowns, f.Corrupted, f.Truncated, f.Duplicated, f.Flaps, f.Cuts, f.Crashes, f.SwitchCrashes, f.Stalls)
+	return b.String()
+}
+
+// RunScenario executes one cell: Warmup+Iters checked barriers on every
+// rank over the full group. Ranks on crashed nodes simply stop (the
+// injector kills their processes); survivors complete degraded and keep
+// going. The run is bit-deterministic: the same Scenario always returns
+// the same summary.
+func RunScenario(s Scenario) ScenarioSummary {
+	if s.Warmup == 0 {
+		s.Warmup = 2
+	}
+	if s.Iters == 0 {
+		s.Iters = 8
+	}
+	n := s.Cfg.Nodes
+	cl := cluster.New(s.Cfg)
+	g := core.UniformGroup(n, 2)
+
+	lastDead := make([][]network.NodeID, n)
+	finished := make([]bool, n)
+	var t0, t1 sim.Time
+	iterTimes := make([]sim.Time, 0, s.Iters)
+	cl.SpawnAll(func(p *host.Process) {
+		rank := p.Rank()
+		port, err := gm.Open(p, cl.MCP(rank), 2)
+		if err != nil {
+			panic(err)
+		}
+		comm, err := core.NewComm(p, port, 4*n+16)
+		if err != nil {
+			panic(err)
+		}
+		one := func() core.BarrierResult {
+			res, err := comm.BarrierChecked(p, s.Alg, g, rank, s.Dim, nil)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		for i := 0; i < s.Warmup; i++ {
+			one()
+		}
+		if rank == 0 {
+			t0 = p.Now()
+		}
+		var last core.BarrierResult
+		for i := 0; i < s.Iters; i++ {
+			before := p.Now()
+			last = one()
+			if rank == 0 {
+				iterTimes = append(iterTimes, p.Now()-before)
+			}
+		}
+		if rank == 0 {
+			t1 = p.Now()
+		}
+		lastDead[rank] = last.Dead
+		finished[rank] = true
+	})
+	cl.RunWorkers(0)
+
+	sum := ScenarioSummary{
+		Name:        s.Name,
+		Nodes:       n,
+		Partitions:  cl.Partitions(),
+		Alg:         algLabel(s.Alg, s.Dim),
+		MeanMicros:  (t1 - t0).Micros() / float64(s.Iters),
+		DrainMicros: cl.MaxNow().Micros(),
+		Dead:        lastDead[0],
+	}
+	for _, d := range iterTimes {
+		if us := d.Micros(); us > sum.MaxIterMicros {
+			sum.MaxIterMicros = us
+		}
+	}
+	for i := 0; i < n; i++ {
+		st := cl.MCP(i).Stats()
+		sum.Barriers += st.BarrierCompleted
+		sum.Retrans += st.Retransmissions + st.BarrierResends
+		sum.Probes += st.BarrierProbes
+		sum.Declared += st.PeersDeclaredDead
+		sum.Skipped += st.BarrierPeersSkipped
+		sum.Promotions += st.BarrierRootPromotions
+		sum.Repairs += st.BarrierRepairs
+	}
+	for i := 0; i < n; i++ {
+		if finished[i] {
+			sum.Finished++
+			if sameDeadSet(lastDead[i], lastDead[0]) {
+				sum.Agree++
+			}
+		}
+	}
+	if inj := cl.Fault(); inj != nil {
+		sum.Faults = inj.Counters()
+	}
+	return sum
+}
+
+// RunScenarios runs every scenario, fanning the independent simulations out
+// over the runner pool; results come back in input order, bit-identical to
+// serial execution.
+func RunScenarios(list []Scenario) []ScenarioSummary {
+	return runner.Map(0, list, RunScenario)
+}
+
+func algLabel(alg mcp.BarrierAlg, dim int) string {
+	if alg == mcp.GB {
+		return fmt.Sprintf("GB(dim=%d)", dim)
+	}
+	return alg.String()
+}
+
+func sameDeadSet(a, b []network.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// The fleet.
+// ---------------------------------------------------------------------------
+
+// DetectionFirmware returns the firmware parameters the chaos fleet runs
+// detection with: a tight retry budget so a fail-stop is declared within a
+// few milliseconds of simulated time instead of the production default's
+// conservative seconds. Zero-fault behavior is unchanged — these knobs only
+// matter once frames go unacked.
+func DetectionFirmware() mcp.FirmwareParams {
+	fw := mcp.DefaultFirmwareParams()
+	fw.RetransTimeout = sim.FromMicros(200)
+	fw.RetransBackoffMax = sim.FromMicros(1600)
+	fw.MaxRetries = 6
+	fw.BarrierTimeout = sim.FromMicros(500)
+	return fw
+}
+
+// detectCfg is a single-crossbar testbed with failure detection on.
+func detectCfg(n int, plan *fault.Plan) cluster.Config {
+	cfg := cluster.DefaultConfig(n)
+	cfg.ReliableBarrier = true
+	cfg.DetectFailures = true
+	cfg.Firmware = DetectionFirmware()
+	cfg.Fault = plan
+	return cfg
+}
+
+// cleanCfg is the Figure 5 testbed with an empty fault plan attached: the
+// idle fault layer must cost nothing and change nothing.
+func cleanCfg(n int) cluster.Config {
+	cfg := cluster.DefaultConfig(n)
+	cfg.Fault = &fault.Plan{}
+	return cfg
+}
+
+// clos2Cfg is a two-level Clos testbed, optionally partitioned.
+func clos2Cfg(nodes, radix, partitions int) cluster.Config {
+	cfg := cluster.DefaultConfig(nodes)
+	cfg.Topology = &topo.Spec{Kind: topo.Clos2, Radix: radix}
+	cfg.Switch.Ports = radix
+	cfg.Partitions = partitions
+	return cfg
+}
+
+// crashPlan fail-stops one node at the given time.
+func crashPlan(seed int64, node network.NodeID, at sim.Time) *fault.Plan {
+	return &fault.Plan{Seed: seed, Crashes: []fault.Crash{{Node: node, At: at}}}
+}
+
+// cutPlan severs one node's cable: a persistent link partition. Nobody
+// dies, but each side of the cut must declare the other dead to complete.
+func cutPlan(seed int64, node network.NodeID, at sim.Time) *fault.Plan {
+	return &fault.Plan{Seed: seed, Cuts: []fault.Cut{{Links: fault.NodeLinks(node), At: at}}}
+}
+
+// chaosPlan layers node-scoped loss and duplication, a firmware stall, and
+// one mid-run crash.
+func chaosPlan(seed int64) *fault.Plan {
+	return &fault.Plan{
+		Seed: seed,
+		Loss: []fault.LossRule{
+			{Links: fault.NodeLinks(6), Window: fault.Always, Rate: 0.02},
+		},
+		Duplicate: []fault.DupRule{
+			{Links: fault.NodeLinks(11), Window: fault.Always, Rate: 0.02},
+		},
+		Stalls:  []fault.Stall{{Node: 3, At: sim.FromMicros(400), For: sim.FromMicros(50)}},
+		Crashes: []fault.Crash{{Node: 9, At: sim.FromMicros(900)}},
+	}
+}
+
+// ScenarioFleet returns the chaos regression matrix: topology × barrier
+// kind × fault plan × seed. Crash victims are never node 0, whose vantage
+// the summaries report from.
+func ScenarioFleet() []Scenario {
+	flap := &fault.Plan{Seed: 1, Flaps: []fault.Flap{{
+		Links:  fault.NodeLinks(13),
+		DownAt: sim.FromMicros(600),
+		UpAt:   sim.FromMicros(900),
+	}}}
+	twoCrash := &fault.Plan{Seed: 1, Crashes: []fault.Crash{
+		{Node: 5, At: sim.FromMicros(700)},
+		{Node: 11, At: sim.FromMicros(4000)},
+	}}
+	twoSwitch := func(plan *fault.Plan) cluster.Config {
+		cfg := detectCfg(16, plan)
+		cfg.TwoLevel = true
+		return cfg
+	}
+	partitioned := func(plan *fault.Plan) cluster.Config {
+		cfg := clos2Cfg(32, 8, 2)
+		cfg.ReliableBarrier = true
+		cfg.DetectFailures = true
+		cfg.Firmware = DetectionFirmware()
+		cfg.Fault = plan
+		return cfg
+	}
+	return []Scenario{
+		// Zero-fault rows: pinned bit-identical to Figure 5.
+		{Name: "pe16-clean", Cfg: cleanCfg(16), Alg: mcp.PE, Warmup: 5, Iters: 20},
+		{Name: "gb16-clean", Cfg: cleanCfg(16), Alg: mcp.GB, Dim: 4, Warmup: 5, Iters: 20},
+		{Name: "pe32-clos2x2-clean", Cfg: clos2Cfg(32, 8, 2), Alg: mcp.PE, Warmup: 5, Iters: 20},
+
+		// Single crash, both barrier kinds; for GB both an interior node
+		// (children re-parent by promotion) and a leaf.
+		{Name: "pe16-crash5", Cfg: detectCfg(16, crashPlan(1, 5, sim.FromMicros(700))), Alg: mcp.PE},
+		{Name: "gb16-crash-interior", Cfg: detectCfg(16, crashPlan(1, 1, sim.FromMicros(700))), Alg: mcp.GB, Dim: 4},
+		{Name: "gb16-crash-leaf", Cfg: detectCfg(16, crashPlan(1, 15, sim.FromMicros(700))), Alg: mcp.GB, Dim: 4},
+
+		// Two staggered crashes.
+		{Name: "gb16-crash-two", Cfg: detectCfg(16, twoCrash), Alg: mcp.GB, Dim: 4},
+
+		// Persistent link cut: both sides of the partition complete.
+		{Name: "pe16-cut3", Cfg: detectCfg(16, cutPlan(1, 3, sim.FromMicros(700))), Alg: mcp.PE},
+
+		// Transient flap shorter than the retry budget: recovery without a
+		// single death declared.
+		{Name: "gb16-flap", Cfg: detectCfg(16, flap), Alg: mcp.GB, Dim: 4},
+
+		// Everything at once, two seeds.
+		{Name: "gb16-chaos-s1", Cfg: detectCfg(16, chaosPlan(1)), Alg: mcp.GB, Dim: 4},
+		{Name: "gb16-chaos-s2", Cfg: detectCfg(16, chaosPlan(2)), Alg: mcp.GB, Dim: 4},
+
+		// Multi-switch topologies: a crash behind the far switch, and a
+		// partition-internal crash on the parallel engine (the lifted
+		// fabric fault ban).
+		{Name: "gb16-twoswitch-crash12", Cfg: twoSwitch(crashPlan(1, 12, sim.FromMicros(700))), Alg: mcp.GB, Dim: 4},
+		{Name: "pe32-clos2x2-crash17", Cfg: partitioned(crashPlan(1, 17, sim.FromMicros(600))), Alg: mcp.PE},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Detection latency.
+// ---------------------------------------------------------------------------
+
+// DetectionPoint is one row of the detection-latency table: how long a
+// crash went unnoticed as a function of the retry budget.
+type DetectionPoint struct {
+	MaxRetries int
+	RTOMicros  float64
+	// DetectMicros is the extra latency the crash added to the barrier that
+	// absorbed it: the slowest faulted iteration minus the fault-free mean.
+	DetectMicros float64
+	Probes       int64
+	Declared     int64
+}
+
+// DetectionLatencySweep measures crash-detection latency across retry
+// budgets and base timeouts: a GB barrier on n nodes with one node crashed
+// mid-run, re-measured for every (MaxRetries, RetransTimeout) combination.
+func DetectionLatencySweep(n, dim int, retries []int, rtosMicros []float64) []DetectionPoint {
+	mk := func(maxRetries int, rtoMicros float64, plan *fault.Plan) cluster.Config {
+		cfg := detectCfg(n, plan)
+		cfg.Firmware.MaxRetries = maxRetries
+		cfg.Firmware.RetransTimeout = sim.FromMicros(rtoMicros)
+		cfg.Firmware.RetransBackoffMax = sim.FromMicros(8 * rtoMicros)
+		return cfg
+	}
+	var list []Scenario
+	for _, mr := range retries {
+		for _, rto := range rtosMicros {
+			list = append(list, Scenario{
+				Name: fmt.Sprintf("detect-r%d-t%g", mr, rto),
+				Cfg:  mk(mr, rto, crashPlan(1, network.NodeID(n/2), sim.FromMicros(700))),
+				Alg:  mcp.GB, Dim: dim,
+			})
+		}
+	}
+	baseline := RunScenario(Scenario{
+		Name: "detect-baseline", Cfg: mk(retries[0], rtosMicros[0], nil),
+		Alg: mcp.GB, Dim: dim,
+	})
+	sums := RunScenarios(list)
+	out := make([]DetectionPoint, 0, len(sums))
+	i := 0
+	for _, mr := range retries {
+		for _, rto := range rtosMicros {
+			s := sums[i]
+			i++
+			out = append(out, DetectionPoint{
+				MaxRetries:   mr,
+				RTOMicros:    rto,
+				DetectMicros: s.MaxIterMicros - baseline.MeanMicros,
+				Probes:       s.Probes,
+				Declared:     s.Declared,
+			})
+		}
+	}
+	return out
+}

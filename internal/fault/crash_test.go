@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"gmsim/internal/lanai"
+	"gmsim/internal/network"
+	"gmsim/internal/sim"
+)
+
+// crashFabric builds a 3-node single-switch fabric with one NIC per node.
+func crashFabric(t *testing.T) (*sim.Simulator, *network.Fabric, []*network.Iface, []*int, map[network.NodeID]*lanai.NIC) {
+	t.Helper()
+	s := sim.New()
+	f := network.New(s)
+	sw := f.AddSwitch(network.DefaultSwitchParams(3))
+	lp := network.DefaultLinkParams()
+	ifaces := make([]*network.Iface, 3)
+	counts := make([]*int, 3)
+	nics := make(map[network.NodeID]*lanai.NIC, 3)
+	for i := 0; i < 3; i++ {
+		n := new(int)
+		counts[i] = n
+		ifaces[i] = f.AttachNIC(network.NodeID(i), sw, i, lp, func(p *network.Packet) { *n++ })
+		nics[network.NodeID(i)] = lanai.NewNIC(s, lanai.LANai43())
+	}
+	return s, f, ifaces, counts, nics
+}
+
+// TestCrashFailStopsNode: at the crash instant the NIC halts, both cable
+// directions go permanently down, the crash hook fires on the node's loop,
+// and the injector reports the node dead.
+func TestCrashFailStopsNode(t *testing.T) {
+	s, f, ifaces, counts, nics := crashFabric(t)
+	plan := &Plan{Crashes: []Crash{{Node: 2, At: sim.FromMicros(10)}}}
+	inj := Attach(plan, f, nics)
+
+	var hooked []network.NodeID
+	var hookedAt sim.Time
+	inj.OnNodeCrash(func(n network.NodeID) {
+		hooked = append(hooked, n)
+		hookedAt = s.Now()
+	})
+
+	// Before the crash traffic flows both ways; after it, silence.
+	s.At(sim.FromMicros(1), func() { sendOne(f, ifaces[0], 0, 2) })
+	s.At(sim.FromMicros(20), func() { sendOne(f, ifaces[0], 0, 2) }) // into the corpse
+	s.At(sim.FromMicros(21), func() { sendOne(f, ifaces[2], 2, 0) }) // out of the corpse
+	s.At(sim.FromMicros(22), func() { sendOne(f, ifaces[0], 0, 1) }) // bystanders unaffected
+	s.Run()
+
+	if *counts[2] != 1 || *counts[0] != 0 || *counts[1] != 1 {
+		t.Fatalf("deliveries = [%d %d %d], want [0 1 1]", *counts[0], *counts[1], *counts[2])
+	}
+	if !nics[2].Dead() {
+		t.Error("crashed NIC not dead")
+	}
+	if nics[0].Dead() || nics[1].Dead() {
+		t.Error("bystander NIC died")
+	}
+	if len(hooked) != 1 || hooked[0] != 2 || hookedAt != sim.FromMicros(10) {
+		t.Errorf("crash hook: nodes %v at %v, want [2] at 10µs", hooked, hookedAt)
+	}
+	if !inj.NodeDead(2) || inj.NodeDead(0) || inj.NodeDead(99) {
+		t.Error("NodeDead wrong")
+	}
+	if dead := inj.DeadNodes(); len(dead) != 1 || dead[0] != 2 {
+		t.Errorf("DeadNodes = %v, want [2]", dead)
+	}
+	nl, _ := f.NICLinkIDs(2)
+	if !inj.LinkDown(nl.Tx) || !inj.LinkDown(nl.Rx) {
+		t.Error("crashed node's cable not down")
+	}
+	c := inj.Counters()
+	if c.Crashes != 1 || c.LinkDowns != 2 {
+		t.Errorf("counters = %+v, want Crashes=1 LinkDowns=2", c)
+	}
+}
+
+// TestSwitchCrashPartitionsEverything: a dead switch downs every channel
+// touching it; on a single-switch fabric nothing is delivered afterwards.
+func TestSwitchCrashPartitionsEverything(t *testing.T) {
+	s, f, ifaces, counts, _ := crashFabric(t)
+	plan := &Plan{SwitchCrashes: []SwitchCrash{{Switch: 0, At: sim.FromMicros(10)}}}
+	inj := Attach(plan, f, nil)
+
+	s.At(sim.FromMicros(1), func() { sendOne(f, ifaces[0], 0, 1) })
+	s.At(sim.FromMicros(20), func() { sendOne(f, ifaces[0], 0, 1) })
+	s.At(sim.FromMicros(21), func() { sendOne(f, ifaces[2], 2, 0) })
+	s.Run()
+
+	if *counts[1] != 1 || *counts[0] != 0 {
+		t.Fatalf("deliveries = [%d %d], want [0 1]", *counts[0], *counts[1])
+	}
+	if c := inj.Counters(); c.SwitchCrashes != 1 {
+		t.Errorf("SwitchCrashes = %d, want 1", c.SwitchCrashes)
+	}
+}
+
+// TestCutIsPermanent: a cut link stays down forever; the directional
+// selectors cut only one channel.
+func TestCutIsPermanent(t *testing.T) {
+	s, f, ifaces, counts, _ := crashFabric(t)
+	plan := &Plan{Cuts: []Cut{{
+		Links: Selector{Node: 1, Dir: RxOnly},
+		At:    sim.FromMicros(10),
+	}}}
+	inj := Attach(plan, f, nil)
+
+	s.At(sim.FromMicros(1), func() { sendOne(f, ifaces[0], 0, 1) })
+	s.At(sim.FromMicros(20), func() { sendOne(f, ifaces[0], 0, 1) }) // rx cut: dropped
+	s.At(sim.FromMicros(21), func() { sendOne(f, ifaces[1], 1, 0) }) // tx still up
+	s.At(sim.FromMicros(10000), func() { sendOne(f, ifaces[0], 0, 1) })
+	s.Run()
+
+	if *counts[1] != 1 || *counts[0] != 1 {
+		t.Fatalf("deliveries = [%d %d], want [1 1]", *counts[0], *counts[1])
+	}
+	if c := inj.Counters(); c.Cuts != 1 || c.LinkDowns != 2 {
+		t.Errorf("counters = %+v, want Cuts=1 LinkDowns=2", c)
+	}
+}
+
+// TestAttachCheckedErrors: plans that do not fit the fabric come back as
+// errors, not panics.
+func TestAttachCheckedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"bad-rate", &Plan{Loss: []LossRule{{Links: AllLinks(), Rate: 1.5}}}, "outside [0,1]"},
+		{"crash-no-nic", &Plan{Crashes: []Crash{{Node: 7}}}, "no NIC"},
+		{"stall-no-nic", &Plan{Stalls: []Stall{{Node: 7}}}, "no NIC"},
+		{"slowdown-no-nic", &Plan{Slowdowns: []Slowdown{{Node: 7, Factor: 2}}}, "no NIC"},
+		{"bad-switch", &Plan{SwitchCrashes: []SwitchCrash{{Switch: 5}}}, "fabric has"},
+		{"bad-selector-node", &Plan{Cuts: []Cut{{Links: Selector{Node: 42}}}}, "no NIC"},
+		{"double-crash", &Plan{Crashes: []Crash{{Node: 1}, {Node: 1, At: 5}}}, "more than once"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, f, _, _, nics := crashFabric(t)
+			_, err := AttachChecked(c.plan, f, nics)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("AttachChecked = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestValidateRejections walks the structural checks rule kind by rule kind.
+func TestValidateRejections(t *testing.T) {
+	bad := []struct {
+		name string
+		plan *Plan
+	}{
+		{"loss-nan", &Plan{Loss: []LossRule{{Links: AllLinks(), Rate: nan()}}}},
+		{"corrupt-rate", &Plan{Corrupt: []CorruptRule{{Links: AllLinks(), Rate: -0.1}}}},
+		{"dup-rate", &Plan{Duplicate: []DupRule{{Links: AllLinks(), Rate: 2}}}},
+		{"inverted-window", &Plan{Loss: []LossRule{{Links: AllLinks(), Rate: 0.5, Window: Window{From: 10, To: 5}}}}},
+		{"negative-window", &Plan{Duplicate: []DupRule{{Links: AllLinks(), Rate: 0.5, Window: Window{From: -1}}}}},
+		{"negative-node", &Plan{Corrupt: []CorruptRule{{Links: Selector{Node: -2}, Rate: 0.5}}}},
+		{"bad-dir", &Plan{Loss: []LossRule{{Links: Selector{Dir: 9}, Rate: 0.5}}}},
+		{"flap-negative", &Plan{Flaps: []Flap{{Links: AllLinks(), DownAt: -1}}}},
+		{"cut-negative", &Plan{Cuts: []Cut{{Links: AllLinks(), At: -1}}}},
+		{"crash-negative-node", &Plan{Crashes: []Crash{{Node: -1}}}},
+		{"crash-negative-time", &Plan{Crashes: []Crash{{Node: 1, At: -1}}}},
+		{"swcrash-negative", &Plan{SwitchCrashes: []SwitchCrash{{Switch: -1}}}},
+		{"swcrash-negative-time", &Plan{SwitchCrashes: []SwitchCrash{{Switch: 1, At: -1}}}},
+		{"stall-negative", &Plan{Stalls: []Stall{{Node: 1, For: -1}}}},
+		{"slowdown-nan", &Plan{Slowdowns: []Slowdown{{Node: 1, Factor: nan()}}}},
+		{"slowdown-window", &Plan{Slowdowns: []Slowdown{{Node: 1, Factor: 2, Window: Window{From: 5, To: 5}}}}},
+	}
+	for _, c := range bad {
+		if err := c.plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.plan)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+	ok := &Plan{
+		Loss:      []LossRule{{Links: NodeLinks(1), Window: Always, Rate: 0.5}},
+		Flaps:     []Flap{{Links: AllLinks(), DownAt: 5, UpAt: 10}},
+		Crashes:   []Crash{{Node: 0, At: 3}},
+		Slowdowns: []Slowdown{{Node: 1, Window: Window{From: 1, To: 2}, Factor: 2}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	f := 0.0
+	return f / f
+}
+
+// TestSelectorString covers the human-readable forms the error paths use.
+func TestSelectorString(t *testing.T) {
+	cases := map[string]Selector{
+		"all-links": AllLinks(),
+		"node3":     NodeLinks(3),
+		"node3-tx":  {Node: 3, Dir: TxOnly},
+		"node3-rx":  {Node: 3, Dir: RxOnly},
+	}
+	for want, sel := range cases {
+		if got := sel.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", sel, got, want)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 // Package fault is a deterministic, DES-scheduled fault-injection
 // subsystem for the simulated cluster. A declarative Plan names what goes
 // wrong and when — timed link flaps, per-link and per-window packet loss,
-// corruption and truncation on the wire, duplicate delivery, and NIC
-// firmware stalls and slowdowns — and Attach compiles it onto a fabric:
-// state changes become simulator events, and stochastic rules draw from
+// corruption and truncation on the wire, duplicate delivery, NIC firmware
+// stalls and slowdowns, and fail-stop faults (node crashes, switch death,
+// permanent link cuts) — and Attach compiles it onto a fabric: state
+// changes become simulator events, and stochastic rules draw from
 // independent per-link streams derived from (plan seed, link ID), so the
 // drop pattern seen by one flow never depends on what other links carry.
 //
@@ -14,11 +15,21 @@
 // experiments and the CLI rather than only from unit-test loss hooks.
 // An attached empty Plan costs nothing: no hook work beyond a nil rule
 // scan per hop, no extra events, and bit-identical experiment output.
+//
+// Partitioned engines. An injector may be attached to a fabric split by
+// network.Partition, provided every link its rules touch is
+// partition-internal: per-link fault state (streams, up/down counts) is
+// then owned by exactly one event loop, and state-change events are
+// scheduled on the owning loop so they order deterministically against the
+// link's traffic. Plans touching a cross-partition trunk are refused with
+// an error naming the cable.
 package fault
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync/atomic"
 
 	"gmsim/internal/lanai"
 	"gmsim/internal/network"
@@ -67,6 +78,20 @@ func (s Selector) String() string {
 	return fmt.Sprintf("node%d", s.Node)
 }
 
+// validate checks a selector's structural invariants.
+func (s Selector) validate() error {
+	if s.All {
+		return nil
+	}
+	if s.Node < 0 {
+		return fmt.Errorf("fault: selector names negative node %d", s.Node)
+	}
+	if s.Dir < Both || s.Dir > RxOnly {
+		return fmt.Errorf("fault: selector direction %d out of range", s.Dir)
+	}
+	return nil
+}
+
 // Window is a half-open simulated-time interval [From, To). To == 0 means
 // open-ended (the rule never expires).
 type Window struct {
@@ -78,6 +103,16 @@ var Always = Window{}
 
 func (w Window) contains(t sim.Time) bool {
 	return t >= w.From && (w.To == 0 || t < w.To)
+}
+
+func (w Window) validate() error {
+	if w.From < 0 || w.To < 0 {
+		return fmt.Errorf("fault: window [%d,%d) has a negative bound", w.From, w.To)
+	}
+	if w.To != 0 && w.To <= w.From {
+		return fmt.Errorf("fault: window [%d,%d) is empty or inverted", w.From, w.To)
+	}
+	return nil
 }
 
 // LossRule drops packets on the selected links with the given probability
@@ -110,10 +145,36 @@ type DupRule struct {
 }
 
 // Flap takes the selected links down at DownAt and back up at UpAt.
-// While down, every packet on those links is dropped.
+// While down, every packet on those links is dropped. UpAt <= DownAt means
+// the links never come back (a permanent outage; Cut reads better for that).
 type Flap struct {
 	Links        Selector
 	DownAt, UpAt sim.Time
+}
+
+// Cut severs the selected links permanently at At: a persistent link
+// partition. Unlike a Flap with no UpAt, a Cut is named for what it
+// models, and plans read unambiguously.
+type Cut struct {
+	Links Selector
+	At    sim.Time
+}
+
+// Crash fail-stops one node at At: its NIC halts (firmware and DMA engines
+// stop), both directions of its cable go permanently down, and any host
+// processes registered through Injector.OnNodeCrash are killed. The rest
+// of the cluster observes only silence — detection is the protocol's job.
+type Crash struct {
+	Node network.NodeID
+	At   sim.Time
+}
+
+// SwitchCrash fail-stops one switch at At: every directed channel touching
+// it (NIC cables and inter-switch trunks, both directions) goes permanently
+// down. Nodes behind the switch are partitioned from the rest.
+type SwitchCrash struct {
+	Switch int
+	At     sim.Time
 }
 
 // Stall freezes one node's NIC firmware processor for For starting at At.
@@ -137,19 +198,23 @@ type Slowdown struct {
 // that), each attachment getting its own derived random streams.
 type Plan struct {
 	// Seed roots every stochastic rule's per-link stream.
-	Seed      int64
-	Loss      []LossRule
-	Corrupt   []CorruptRule
-	Duplicate []DupRule
-	Flaps     []Flap
-	Stalls    []Stall
-	Slowdowns []Slowdown
+	Seed          int64
+	Loss          []LossRule
+	Corrupt       []CorruptRule
+	Duplicate     []DupRule
+	Flaps         []Flap
+	Cuts          []Cut
+	Crashes       []Crash
+	SwitchCrashes []SwitchCrash
+	Stalls        []Stall
+	Slowdowns     []Slowdown
 }
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.Loss) == 0 && len(p.Corrupt) == 0 &&
 		len(p.Duplicate) == 0 && len(p.Flaps) == 0 &&
+		len(p.Cuts) == 0 && len(p.Crashes) == 0 && len(p.SwitchCrashes) == 0 &&
 		len(p.Stalls) == 0 && len(p.Slowdowns) == 0)
 }
 
@@ -164,20 +229,142 @@ func (p *Plan) Clone() *Plan {
 	q.Corrupt = append([]CorruptRule(nil), p.Corrupt...)
 	q.Duplicate = append([]DupRule(nil), p.Duplicate...)
 	q.Flaps = append([]Flap(nil), p.Flaps...)
+	q.Cuts = append([]Cut(nil), p.Cuts...)
+	q.Crashes = append([]Crash(nil), p.Crashes...)
+	q.SwitchCrashes = append([]SwitchCrash(nil), p.SwitchCrashes...)
 	q.Stalls = append([]Stall(nil), p.Stalls...)
 	q.Slowdowns = append([]Slowdown(nil), p.Slowdowns...)
 	return q
 }
 
+// Validate checks the plan's structural invariants without a fabric:
+// probabilities in [0,1], windows ordered, selectors and times in range.
+// It never panics, whatever the plan contains (fuzzed by FuzzPlanValidate).
+// Topology-dependent checks — selectors naming attached NICs, switches
+// that exist, partition compatibility — happen at Attach.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	rate := func(kind string, i int, r float64) error {
+		if r < 0 || r > 1 || r != r { // r != r catches NaN
+			return fmt.Errorf("fault: %s rule %d has rate %v outside [0,1]", kind, i, r)
+		}
+		return nil
+	}
+	for i, r := range p.Loss {
+		if err := rate("loss", i, r.Rate); err != nil {
+			return err
+		}
+		if err := r.Links.validate(); err != nil {
+			return fmt.Errorf("loss rule %d: %w", i, err)
+		}
+		if err := r.Window.validate(); err != nil {
+			return fmt.Errorf("loss rule %d: %w", i, err)
+		}
+	}
+	for i, r := range p.Corrupt {
+		if err := rate("corrupt", i, r.Rate); err != nil {
+			return err
+		}
+		if err := r.Links.validate(); err != nil {
+			return fmt.Errorf("corrupt rule %d: %w", i, err)
+		}
+		if err := r.Window.validate(); err != nil {
+			return fmt.Errorf("corrupt rule %d: %w", i, err)
+		}
+	}
+	for i, r := range p.Duplicate {
+		if err := rate("duplicate", i, r.Rate); err != nil {
+			return err
+		}
+		if err := r.Links.validate(); err != nil {
+			return fmt.Errorf("duplicate rule %d: %w", i, err)
+		}
+		if err := r.Window.validate(); err != nil {
+			return fmt.Errorf("duplicate rule %d: %w", i, err)
+		}
+	}
+	for i, fl := range p.Flaps {
+		if err := fl.Links.validate(); err != nil {
+			return fmt.Errorf("flap %d: %w", i, err)
+		}
+		if fl.DownAt < 0 || fl.UpAt < 0 {
+			return fmt.Errorf("fault: flap %d has a negative time", i)
+		}
+	}
+	for i, c := range p.Cuts {
+		if err := c.Links.validate(); err != nil {
+			return fmt.Errorf("cut %d: %w", i, err)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: cut %d at negative time %d", i, c.At)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("fault: crash %d names negative node %d", i, c.Node)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash %d at negative time %d", i, c.At)
+		}
+	}
+	for i, c := range p.SwitchCrashes {
+		if c.Switch < 0 {
+			return fmt.Errorf("fault: switch crash %d names negative switch %d", i, c.Switch)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: switch crash %d at negative time %d", i, c.At)
+		}
+	}
+	seenCrash := make(map[network.NodeID]bool, len(p.Crashes))
+	for i, c := range p.Crashes {
+		if seenCrash[c.Node] {
+			return fmt.Errorf("fault: node %d crashes more than once (crash %d)", c.Node, i)
+		}
+		seenCrash[c.Node] = true
+	}
+	for i, st := range p.Stalls {
+		if st.Node < 0 {
+			return fmt.Errorf("fault: stall %d names negative node %d", i, st.Node)
+		}
+		if st.At < 0 || st.For < 0 {
+			return fmt.Errorf("fault: stall %d has a negative time", i)
+		}
+	}
+	for i, sl := range p.Slowdowns {
+		if sl.Node < 0 {
+			return fmt.Errorf("fault: slowdown %d names negative node %d", i, sl.Node)
+		}
+		if err := sl.Window.validate(); err != nil {
+			return fmt.Errorf("slowdown %d: %w", i, err)
+		}
+		if sl.Factor < 0 || sl.Factor != sl.Factor {
+			return fmt.Errorf("fault: slowdown %d has factor %v", i, sl.Factor)
+		}
+	}
+	return nil
+}
+
 // Counters tallies what the injector actually did.
 type Counters struct {
-	Lost       int64 // packets dropped by loss rules
-	LinkDowns  int64 // packets dropped on a flapped (down) link
-	Corrupted  int64 // packets damaged (bit errors)
-	Truncated  int64 // packets damaged (tail cut)
-	Duplicated int64 // extra copies delivered
-	Flaps      int64 // links taken down
-	Stalls     int64 // firmware stalls injected
+	Lost          int64 // packets dropped by loss rules
+	LinkDowns     int64 // packets dropped on a down link (flap, cut or crash)
+	Corrupted     int64 // packets damaged (bit errors)
+	Truncated     int64 // packets damaged (tail cut)
+	Duplicated    int64 // extra copies delivered
+	Flaps         int64 // links taken down by flap rules
+	Cuts          int64 // permanent link cuts applied
+	Crashes       int64 // nodes fail-stopped
+	SwitchCrashes int64 // switches fail-stopped
+	Stalls        int64 // firmware stalls injected
+}
+
+// counters is the injector's internal tally; atomics because, on a
+// partitioned fabric, every partition's event loop bumps them concurrently.
+type counters struct {
+	lost, linkDowns, corrupted, truncated, duplicated atomic.Int64
+	flaps, cuts, crashes, switchCrashes, stalls       atomic.Int64
 }
 
 // lossEntry etc. are rules compiled against one concrete link.
@@ -205,43 +392,89 @@ type linkRules struct {
 // Injector is a Plan attached to one fabric. It implements
 // network.FaultHook; per-link random streams and link state live here, so
 // concurrent clusters attached to the same Plan share nothing.
+//
+// Concurrency: rules and streams are read-only after Attach; each stream
+// value and each down slot is touched only by the event loop that owns its
+// link, and the tallies are atomic — which is what makes the injector safe
+// on a partitioned fabric.
 type Injector struct {
-	sim  *sim.Simulator
 	fab  *network.Fabric
 	seed int64
 
+	// rules and streams are per-link, populated at Attach and read-only
+	// afterwards. down[l] > 0 means link l is down (nested flaps count;
+	// cuts and crashes increment and never decrement).
 	rules   map[network.LinkID]*linkRules
 	streams map[network.LinkID]*rand.Rand
-	down    map[network.LinkID]int // >0 => link down (nested flaps count)
+	down    []int32
 
-	counters Counters
+	// deadNode[n] is 1 once node n has fail-stopped.
+	deadNode []int32
+
+	// crashHook, when set (cluster.OnNodeCrash), runs on the crashed node's
+	// event loop at the instant of each node crash, so the cluster can kill
+	// the node's host processes.
+	crashHook func(network.NodeID)
+
+	cnt counters
 }
 
-// Attach compiles the plan onto a fabric: flap, stall and slowdown rules
-// become scheduled simulator events; stochastic rules are indexed per
-// link; and the injector installs itself as the fabric's fault hook.
-// nics maps node IDs to their cards, for the firmware fault classes; it
-// may be nil when the plan contains no stalls or slowdowns. Attach must
-// run after all NICs are cabled (it resolves selectors to link IDs) and
-// before the simulation starts (it schedules at absolute plan times).
+// Attach compiles the plan onto a fabric, panicking on a plan that does not
+// fit it (unknown nodes or switches, faulted cross-partition trunks).
+// Callers with user-supplied plans should use AttachChecked.
 func Attach(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) *Injector {
+	inj, err := AttachChecked(p, fab, nics)
+	if err != nil {
+		panic(err.Error())
+	}
+	return inj
+}
+
+// AttachChecked compiles the plan onto a fabric: flap, cut, crash, stall
+// and slowdown rules become scheduled simulator events; stochastic rules
+// are indexed per link; and the injector installs itself as the fabric's
+// fault hook. nics maps node IDs to their cards, for the firmware fault
+// classes; it may be nil when the plan contains no stalls, slowdowns or
+// crashes. AttachChecked must run after all NICs are cabled and the fabric
+// is (optionally) partitioned, and before the simulation starts.
+//
+// On a partitioned fabric, every link the plan touches must be
+// partition-internal; a faulted trunk yields an error naming the cable.
+// Per-link events are scheduled on the event loop that owns the link, so
+// serial and partitioned runs of the same plan are bit-identical.
+func AttachChecked(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	inj := &Injector{
-		sim:     fab.Sim(),
-		fab:     fab,
-		rules:   make(map[network.LinkID]*linkRules),
-		streams: make(map[network.LinkID]*rand.Rand),
-		down:    make(map[network.LinkID]int),
+		fab:      fab,
+		rules:    make(map[network.LinkID]*linkRules),
+		streams:  make(map[network.LinkID]*rand.Rand),
+		down:     make([]int32, fab.NumLinks()),
+		deadNode: make([]int32, fab.NumNICs()),
 	}
 	if p == nil {
 		p = &Plan{}
 	}
 	inj.seed = p.Seed
 
+	// touched accumulates every link the plan holds per-link state for;
+	// the fabric verifies they are partition-internal at hook install.
+	var touched []network.LinkID
+	touch := func(links []network.LinkID) []network.LinkID {
+		touched = append(touched, links...)
+		return links
+	}
+
 	for _, r := range p.Loss {
 		if r.Rate <= 0 {
 			continue
 		}
-		for _, l := range inj.resolve(r.Links) {
+		links, err := inj.resolve(r.Links)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range touch(links) {
 			lr := inj.linkRules(l)
 			lr.loss = append(lr.loss, lossEntry{r.Window, r.Rate})
 		}
@@ -250,7 +483,11 @@ func Attach(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) *I
 		if r.Rate <= 0 {
 			continue
 		}
-		for _, l := range inj.resolve(r.Links) {
+		links, err := inj.resolve(r.Links)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range touch(links) {
 			lr := inj.linkRules(l)
 			lr.corrupt = append(lr.corrupt, corruptEntry{r.Window, r.Rate, r.Truncate})
 		}
@@ -259,41 +496,128 @@ func Attach(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) *I
 		if r.Rate <= 0 {
 			continue
 		}
-		for _, l := range inj.resolve(r.Links) {
+		links, err := inj.resolve(r.Links)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range touch(links) {
 			lr := inj.linkRules(l)
 			lr.dup = append(lr.dup, dupEntry{r.Window, r.Rate})
 		}
 	}
+	// Streams are created up front for every rule-bearing link: after this
+	// point the map is read-only and each stream is consumed only by the
+	// event loop owning its link.
+	for l := range inj.rules {
+		inj.streams[l] = network.LinkStream(inj.seed, l)
+	}
+
 	for _, fl := range p.Flaps {
 		fl := fl
-		links := inj.resolve(fl.Links)
-		inj.sim.At(fl.DownAt, func() {
+		links, err := inj.resolve(fl.Links)
+		if err != nil {
+			return nil, err
+		}
+		touch(links)
+		inj.eachLinkSim(links, func(s *sim.Simulator, group []network.LinkID, first bool) {
+			s.At(fl.DownAt, func() {
+				for _, l := range group {
+					inj.down[l]++
+				}
+				if first {
+					inj.cnt.flaps.Add(1)
+					fab.NoteFault("link-down", nil, fl.Links.String())
+				}
+			})
+			if fl.UpAt > fl.DownAt {
+				s.At(fl.UpAt, func() {
+					for _, l := range group {
+						if inj.down[l] > 0 {
+							inj.down[l]--
+						}
+					}
+					if first {
+						fab.NoteFault("link-up", nil, fl.Links.String())
+					}
+				})
+			}
+		})
+	}
+	for _, ct := range p.Cuts {
+		ct := ct
+		links, err := inj.resolve(ct.Links)
+		if err != nil {
+			return nil, err
+		}
+		touch(links)
+		inj.eachLinkSim(links, func(s *sim.Simulator, group []network.LinkID, first bool) {
+			s.At(ct.At, func() {
+				for _, l := range group {
+					inj.down[l]++
+				}
+				if first {
+					inj.cnt.cuts.Add(1)
+					fab.NoteFault("link-cut", nil, ct.Links.String())
+				}
+			})
+		})
+	}
+	for _, cr := range p.Crashes {
+		cr := cr
+		nic := nics[cr.Node]
+		if nic == nil {
+			return nil, fmt.Errorf("fault: crash names node %d with no NIC", cr.Node)
+		}
+		links, err := inj.resolve(NodeLinks(cr.Node))
+		if err != nil {
+			return nil, err
+		}
+		touch(links)
+		// A node's cable links are always partition-internal (the NIC lives
+		// in its leaf switch's partition), so the whole crash — NIC halt,
+		// link downs, host-process kill — is one event on the node's loop.
+		nic.Sim().At(cr.At, func() {
+			nic.Kill()
 			for _, l := range links {
 				inj.down[l]++
 			}
-			inj.counters.Flaps++
-			fab.NoteFault("link-down", nil, fl.Links.String())
+			atomic.StoreInt32(&inj.deadNode[cr.Node], 1)
+			if inj.crashHook != nil {
+				inj.crashHook(cr.Node)
+			}
+			inj.cnt.crashes.Add(1)
+			fab.NoteFault("node-crash", nil, fmt.Sprintf("node%d", cr.Node))
 		})
-		if fl.UpAt > fl.DownAt {
-			inj.sim.At(fl.UpAt, func() {
-				for _, l := range links {
-					if inj.down[l] > 0 {
-						inj.down[l]--
-					}
-				}
-				fab.NoteFault("link-up", nil, fl.Links.String())
-			})
+	}
+	for _, sc := range p.SwitchCrashes {
+		sc := sc
+		if sc.Switch >= fab.NumSwitches() {
+			return nil, fmt.Errorf("fault: switch crash names switch %d; fabric has %d",
+				sc.Switch, fab.NumSwitches())
 		}
+		links := append([]network.LinkID(nil), fab.SwitchLinks(sc.Switch)...)
+		touch(links)
+		inj.eachLinkSim(links, func(s *sim.Simulator, group []network.LinkID, first bool) {
+			s.At(sc.At, func() {
+				for _, l := range group {
+					inj.down[l]++
+				}
+				if first {
+					inj.cnt.switchCrashes.Add(1)
+					fab.NoteFault("switch-crash", nil, fmt.Sprintf("switch%d", sc.Switch))
+				}
+			})
+		})
 	}
 	for _, st := range p.Stalls {
 		st := st
 		nic := nics[st.Node]
 		if nic == nil {
-			panic(fmt.Sprintf("fault: stall names node %d with no NIC", st.Node))
+			return nil, fmt.Errorf("fault: stall names node %d with no NIC", st.Node)
 		}
-		inj.sim.At(st.At, func() {
+		nic.Sim().At(st.At, func() {
 			nic.Stall(st.For)
-			inj.counters.Stalls++
+			inj.cnt.stalls.Add(1)
 			fab.NoteFault("nic-stall", nil,
 				fmt.Sprintf("node%d for %v", st.Node, st.For))
 		})
@@ -302,45 +626,92 @@ func Attach(p *Plan, fab *network.Fabric, nics map[network.NodeID]*lanai.NIC) *I
 		sl := sl
 		nic := nics[sl.Node]
 		if nic == nil {
-			panic(fmt.Sprintf("fault: slowdown names node %d with no NIC", sl.Node))
+			return nil, fmt.Errorf("fault: slowdown names node %d with no NIC", sl.Node)
 		}
-		inj.sim.At(sl.Window.From, func() {
+		nic.Sim().At(sl.Window.From, func() {
 			nic.SetSlowdown(sl.Factor)
 			fab.NoteFault("nic-slowdown", nil,
 				fmt.Sprintf("node%d x%.2f", sl.Node, sl.Factor))
 		})
 		if sl.Window.To > sl.Window.From {
-			inj.sim.At(sl.Window.To, func() {
+			nic.Sim().At(sl.Window.To, func() {
 				nic.SetSlowdown(1)
 				fab.NoteFault("nic-slowdown", nil, fmt.Sprintf("node%d x1", sl.Node))
 			})
 		}
 	}
 
-	fab.SetFaultHook(inj)
-	return inj
+	if err := fab.SetFaultHookChecked(inj, touched); err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// eachLinkSim groups links by the event loop that owns them and invokes fn
+// once per group, preserving link order within a group. first is true for
+// exactly one group per call, so per-rule side effects (counters, trace
+// notes) happen once whether the fabric is serial (one group) or
+// partitioned (one group per partition touched).
+func (inj *Injector) eachLinkSim(links []network.LinkID, fn func(s *sim.Simulator, group []network.LinkID, first bool)) {
+	if len(links) == 0 {
+		return
+	}
+	groups := make(map[*sim.Simulator][]network.LinkID)
+	order := []*sim.Simulator{}
+	for _, l := range links {
+		s := inj.fab.LinkSim(l)
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], l)
+	}
+	for i, s := range order {
+		fn(s, groups[s], i == 0)
+	}
+}
+
+// OnNodeCrash registers a hook invoked on the crashed node's event loop at
+// the instant of each node crash — after the NIC halts and the links go
+// down. The cluster layer uses it to kill the node's host processes.
+func (inj *Injector) OnNodeCrash(fn func(network.NodeID)) { inj.crashHook = fn }
+
+// NodeDead reports whether node n has fail-stopped.
+func (inj *Injector) NodeDead(n network.NodeID) bool {
+	return int(n) < len(inj.deadNode) && atomic.LoadInt32(&inj.deadNode[n]) != 0
+}
+
+// DeadNodes returns the nodes that have fail-stopped so far, ascending.
+func (inj *Injector) DeadNodes() []network.NodeID {
+	var out []network.NodeID
+	for n := range inj.deadNode {
+		if atomic.LoadInt32(&inj.deadNode[n]) != 0 {
+			out = append(out, network.NodeID(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // resolve maps a selector to concrete link IDs.
-func (inj *Injector) resolve(s Selector) []network.LinkID {
+func (inj *Injector) resolve(s Selector) ([]network.LinkID, error) {
 	if s.All {
 		out := make([]network.LinkID, inj.fab.NumLinks())
 		for i := range out {
 			out[i] = network.LinkID(i)
 		}
-		return out
+		return out, nil
 	}
 	nl, ok := inj.fab.NICLinkIDs(s.Node)
 	if !ok {
-		panic(fmt.Sprintf("fault: selector names node %d with no NIC", s.Node))
+		return nil, fmt.Errorf("fault: selector names node %d with no NIC", s.Node)
 	}
 	switch s.Dir {
 	case TxOnly:
-		return []network.LinkID{nl.Tx}
+		return []network.LinkID{nl.Tx}, nil
 	case RxOnly:
-		return []network.LinkID{nl.Rx}
+		return []network.LinkID{nl.Rx}, nil
 	}
-	return []network.LinkID{nl.Tx, nl.Rx}
+	return []network.LinkID{nl.Tx, nl.Rx}, nil
 }
 
 func (inj *Injector) linkRules(l network.LinkID) *linkRules {
@@ -355,39 +726,48 @@ func (inj *Injector) linkRules(l network.LinkID) *linkRules {
 // stream returns the link's private random stream, derived from
 // (plan seed, link ID). Only hops over this link consume it, which is what
 // keeps one flow's fault pattern independent of traffic elsewhere.
-func (inj *Injector) stream(l network.LinkID) *rand.Rand {
-	rng, ok := inj.streams[l]
-	if !ok {
-		rng = network.LinkStream(inj.seed, l)
-		inj.streams[l] = rng
+func (inj *Injector) stream(l network.LinkID) *rand.Rand { return inj.streams[l] }
+
+// Counters returns a snapshot of what the injector has done so far.
+func (inj *Injector) Counters() Counters {
+	return Counters{
+		Lost:          inj.cnt.lost.Load(),
+		LinkDowns:     inj.cnt.linkDowns.Load(),
+		Corrupted:     inj.cnt.corrupted.Load(),
+		Truncated:     inj.cnt.truncated.Load(),
+		Duplicated:    inj.cnt.duplicated.Load(),
+		Flaps:         inj.cnt.flaps.Load(),
+		Cuts:          inj.cnt.cuts.Load(),
+		Crashes:       inj.cnt.crashes.Load(),
+		SwitchCrashes: inj.cnt.switchCrashes.Load(),
+		Stalls:        inj.cnt.stalls.Load(),
 	}
-	return rng
 }
 
-// Counters returns what the injector has done so far.
-func (inj *Injector) Counters() Counters { return inj.counters }
-
-// LinkDown reports whether any flap currently holds the link down.
-func (inj *Injector) LinkDown(l network.LinkID) bool { return inj.down[l] > 0 }
+// LinkDown reports whether any flap, cut or crash currently holds the link
+// down.
+func (inj *Injector) LinkDown(l network.LinkID) bool {
+	return int(l) < len(inj.down) && inj.down[l] > 0
+}
 
 // OnHop implements network.FaultHook: rule on one packet completing one
 // channel hop. Stochastic rules consume the link's stream only while their
 // window is open, so the decision sequence is a pure function of
 // (seed, link, hop index within windows) — independent of other links.
-func (inj *Injector) OnHop(link network.LinkID, p *network.Packet) network.Verdict {
+// now is the executing event loop's clock (see network.FaultHook).
+func (inj *Injector) OnHop(link network.LinkID, p *network.Packet, now sim.Time) network.Verdict {
 	if inj.down[link] > 0 {
-		inj.counters.LinkDowns++
+		inj.cnt.linkDowns.Add(1)
 		return network.Verdict{Drop: true, Reason: "link-down"}
 	}
 	lr := inj.rules[link]
 	if lr == nil {
 		return network.Verdict{}
 	}
-	now := inj.sim.Now()
 	var v network.Verdict
 	for _, e := range lr.loss {
 		if e.win.contains(now) && inj.stream(link).Float64() < e.rate {
-			inj.counters.Lost++
+			inj.cnt.lost.Add(1)
 			return network.Verdict{Drop: true, Reason: "fault-loss"}
 		}
 	}
@@ -403,7 +783,7 @@ func (inj *Injector) OnHop(link network.LinkID, p *network.Packet) network.Verdi
 	}
 	for _, e := range lr.dup {
 		if e.win.contains(now) && inj.stream(link).Float64() < e.rate {
-			inj.counters.Duplicated++
+			inj.cnt.duplicated.Add(1)
 			inj.fab.NoteFault("duplicate", p, "")
 			v.Duplicate = true
 		}
@@ -420,7 +800,7 @@ func (inj *Injector) corrupt(link network.LinkID, p *network.Packet) {
 	if p.Corrupt {
 		return // already damaged on an earlier hop
 	}
-	inj.counters.Corrupted++
+	inj.cnt.corrupted.Add(1)
 	var img []byte
 	switch pl := p.Payload.(type) {
 	case []byte:
@@ -463,6 +843,6 @@ func (inj *Injector) truncate(link network.LinkID, p *network.Packet) {
 		p.Size -= cut
 	}
 	p.Corrupt = true
-	inj.counters.Truncated++
+	inj.cnt.truncated.Add(1)
 	inj.fab.NoteFault("truncate", p, fmt.Sprintf("-%dB", cut))
 }

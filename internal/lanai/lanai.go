@@ -95,6 +95,12 @@ type NIC struct {
 	stalls    int64
 	stallTime sim.Time
 
+	// dead marks a fail-stop crashed card: the firmware processor halts and
+	// no further tasks, stalls or DMA transfers are scheduled. Work whose
+	// completion event was already scheduled still fires (it represents
+	// cycles spent before the crash), but can start nothing new.
+	dead bool
+
 	// rec, when attached, receives one NICProc span per firmware task.
 	// A nil recorder costs one check per Exec (the zero-cost contract).
 	rec  *phase.Recorder
@@ -147,6 +153,9 @@ func (n *NIC) Exec(cycles int64, fn func()) {
 // span itself. The span covers the task's queued execution window
 // [start, start+dur], recorded at schedule time.
 func (n *NIC) ExecTagged(cycles int64, label string, fn func()) {
+	if n.dead {
+		return
+	}
 	n.sim.At(n.charge(cycles, label), fn)
 }
 
@@ -154,6 +163,9 @@ func (n *NIC) ExecTagged(cycles int64, label string, fn func()) {
 // fn and arg pass straight through to sim.AtCall, so charging a firmware
 // task with a long-lived method value allocates nothing.
 func (n *NIC) ExecTaggedCall(cycles int64, label string, fn func(uint64), arg uint64) {
+	if n.dead {
+		return
+	}
 	n.sim.AtCall(n.charge(cycles, label), fn, arg)
 }
 
@@ -186,7 +198,7 @@ func (n *NIC) charge(cycles int64, label string) sim.Time {
 // wait it out. Models a firmware hang or a host-bus hiccup that starves
 // the LANai — the fault layer's "NIC stall" fault.
 func (n *NIC) Stall(d sim.Time) {
-	if d <= 0 {
+	if d <= 0 || n.dead {
 		return
 	}
 	start := n.sim.Now()
@@ -217,6 +229,17 @@ func (n *NIC) SetSlowdown(factor float64) {
 
 // Slowdown returns the current firmware duration multiplier.
 func (n *NIC) Slowdown() float64 { return n.slow }
+
+// Kill halts the card permanently (a fail-stop NIC crash): the firmware
+// processor and both DMA engines stop accepting work. Idempotent.
+func (n *NIC) Kill() {
+	n.dead = true
+	n.sdma.dead = true
+	n.rdma.dead = true
+}
+
+// Dead reports whether the card has been killed.
+func (n *NIC) Dead() bool { return n.dead }
 
 // Stalls returns the number of injected processor stalls.
 func (n *NIC) Stalls() int64 { return n.stalls }
@@ -253,11 +276,17 @@ type DMAEngine struct {
 	rec   *phase.Recorder
 	node  int32
 	track phase.Track
+
+	// dead mirrors the owning NIC's crashed state (see NIC.Kill).
+	dead bool
 }
 
 // Start schedules a transfer of n bytes; fn runs when the transfer
 // completes. Transfers on the same engine serialize FIFO.
 func (d *DMAEngine) Start(n int, fn func()) {
+	if d.dead {
+		return
+	}
 	start := d.sim.Now()
 	if d.free > start {
 		start = d.free

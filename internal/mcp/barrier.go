@@ -2,6 +2,8 @@ package mcp
 
 import (
 	"fmt"
+
+	"gmsim/internal/network"
 )
 
 // This file is the paper's contribution at the firmware level: NIC-side
@@ -45,9 +47,15 @@ func (m *MCP) PostBarrierToken(tok *BarrierToken) error {
 		}
 		tok.Epoch = p.epoch
 		p.barrier = tok
+		if m.cfg.DetectFailures && len(m.deadPeers) > 0 {
+			// Peers already known dead are removed from the schedule before
+			// the first packet goes out.
+			m.applyDeadPeers(tok)
+		}
+		m.armBarrierWatchdog(p)
 		switch tok.Alg {
 		case PE:
-			if len(tok.Peers) == 0 {
+			if tok.Index >= len(tok.Peers) {
 				m.barrierFinish(p, tok)
 				return
 			}
@@ -89,9 +97,11 @@ func (m *MCP) peDrainRecorded(p *Port, tok *BarrierToken) {
 }
 
 // peAdvance moves to the next peer after the current peer's message has
-// been consumed: send to the next destination or finish.
+// been consumed: send to the next destination (skipping peers known dead)
+// or finish.
 func (m *MCP) peAdvance(p *Port, tok *BarrierToken) {
 	tok.Index++
+	m.peSkipDead(tok)
 	if tok.Index >= len(tok.Peers) {
 		m.barrierFinish(p, tok)
 		return
@@ -324,6 +334,12 @@ func (m *MCP) sendBarrierFrameEpoch(srcPort, epoch int, dst Endpoint, kind Frame
 		DstPort:  dst.Port,
 		SrcEpoch: epoch,
 	}
+	if m.cfg.DetectFailures && len(m.deadPeers) > 0 {
+		// Barrier traffic gossips the dead set so survivors converge on one
+		// membership view. Empty when nothing died, so zero-fault frames
+		// stay byte-identical to the pre-detection wire format.
+		f.Data = m.encodeDeadSet()
+	}
 	prep, label := m.cfg.Params.BarrierPrep, "bar.prep"
 	if kind == BarrierGatherFrame || kind == BarrierBcastFrame {
 		prep, label = m.cfg.Params.GBPrep, "gb.prep"
@@ -340,6 +356,15 @@ func (m *MCP) barSendEvent(h uint64) {
 	f, dst, after := rec.f, rec.dst, rec.after
 	rec.f, rec.after = nil, nil
 	m.pendBarSends.Put(h)
+	if m.cfg.DetectFailures && dst.Node != m.cfg.Node && m.deadPeers[dst.Node] {
+		// The destination died while this frame waited out its prep cost:
+		// sending would only spin up the retransmission machinery toward a
+		// corpse. The repair path has already routed the barrier around it.
+		if after != nil {
+			after()
+		}
+		return
+	}
 	if m.cfg.LoopbackFlag && dst.Node == m.cfg.Node {
 		// Section 3.4 optimization: two ports of the same NIC in one
 		// barrier exchange a flag instead of a packet.
@@ -380,6 +405,9 @@ func (m *MCP) handleBarrierAck(f *Frame) {
 	c := m.conn(f.SrcNode)
 	for i, sb := range c.barrierSent {
 		if sb.frame.Seq == f.AckSeq {
+			if sb.frame.Kind == BarrierProbeFrame {
+				c.probeOut = false // the peer answered: alive
+			}
 			c.barrierSent = append(c.barrierSent[:i], c.barrierSent[i+1:]...)
 			m.ackProgress(c)
 			break
@@ -390,10 +418,9 @@ func (m *MCP) handleBarrierAck(f *Frame) {
 	m.rearmRetransTimer(c)
 }
 
+// retransmitBarrier resends the unacked barrier frames. The retry budget
+// was already charged by timerFire (its only caller), once for the fire.
 func (m *MCP) retransmitBarrier(c *Connection) {
-	if m.giveUpIfExhausted(c) {
-		return
-	}
 	pr := m.cfg.Params
 	for _, sb := range c.barrierSent {
 		sb := sb
@@ -418,16 +445,21 @@ func (m *MCP) barrierFinish(p *Port, tok *BarrierToken) {
 	tok.completed = true
 	p.barrier = nil
 	p.barrierPending = false
+	m.cancelBarrierWatchdog(p)
 	if p.barrierBufs > 0 {
 		p.barrierBufs--
 	} else {
 		m.stats.ProtocolErrors++
 	}
 	m.stats.BarrierCompleted++
+	var dead []network.NodeID
+	if m.cfg.DetectFailures {
+		dead = m.deadNodesSorted()
+	}
 	pr := m.cfg.Params
 	m.nic.ExecTagged(pr.BarrierComplete, "bar.done", func() {
 		m.nic.RDMA().Start(eventRecordBytes, func() {
-			m.deliverHost(p, HostEvent{Kind: BarrierDoneEvent, Tag: tok.Tag})
+			m.deliverHost(p, HostEvent{Kind: BarrierDoneEvent, Tag: tok.Tag, DeadNodes: dead})
 		})
 	})
 }

@@ -51,6 +51,11 @@ const (
 	ReduceFrame
 	// CollBcastFrame carries a broadcast/allreduce payload down the tree.
 	CollBcastFrame
+	// BarrierProbeFrame asks a peer whose barrier message is overdue to
+	// prove it is alive. Probes ride the reliable-barrier machinery (own
+	// seq, acked, retransmitted), so an unanswered probe exhausts the retry
+	// budget and declares the peer dead — the failure-detection path.
+	BarrierProbeFrame
 )
 
 var kindNames = map[FrameKind]string{
@@ -64,6 +69,7 @@ var kindNames = map[FrameKind]string{
 	BarrierRejectFrame: "barrier-reject",
 	ReduceFrame:        "coll-reduce",
 	CollBcastFrame:     "coll-bcast",
+	BarrierProbeFrame:  "barrier-probe",
 }
 
 func (k FrameKind) String() string {

@@ -98,7 +98,7 @@ func DecodeFrame(b []byte) (*Frame, error) {
 	if n > 0 {
 		f.Data = append([]byte(nil), body[30:]...)
 	}
-	if f.Kind > CollBcastFrame || f.OrigKind > CollBcastFrame {
+	if f.Kind > BarrierProbeFrame || f.OrigKind > BarrierProbeFrame {
 		return nil, fmt.Errorf("mcp: frame kind out of range (%w)", ErrFrameCorrupt)
 	}
 	if f.SrcPort >= 8 || f.DstPort >= 8 || f.OrigDstPort >= 8 {

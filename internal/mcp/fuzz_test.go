@@ -63,7 +63,7 @@ func FuzzFrameDecode(f *testing.F) {
 			return
 		}
 		// Valid range invariants the firmware relies on.
-		if fr.Kind > CollBcastFrame || fr.SrcPort >= 8 || fr.DstPort >= 8 || fr.OrigDstPort >= 8 {
+		if fr.Kind > BarrierProbeFrame || fr.SrcPort >= 8 || fr.DstPort >= 8 || fr.OrigDstPort >= 8 {
 			t.Fatalf("decode accepted out-of-range frame %+v", fr)
 		}
 		img := EncodeFrame(fr)

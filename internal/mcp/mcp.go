@@ -32,6 +32,11 @@ type MCP struct {
 	// local ports, keyed by the closed port number (Section 3.2).
 	pendingClosed map[int][]pendingClosed
 
+	// deadPeers is this NIC's view of fail-stopped peers (DetectFailures):
+	// peers whose retry budget exhausted here, plus peers learned from
+	// dead-sets carried on other survivors' barrier frames.
+	deadPeers map[network.NodeID]bool
+
 	// lastGB keeps, per port, the most recently completed GB token so a
 	// broadcast rejected by a then-closed child can be reconstructed.
 	lastGB []*BarrierToken
@@ -74,6 +79,7 @@ func New(nic *lanai.NIC, cfg Config) *MCP {
 		rng:           network.LinkStream(0x6d6370, network.LinkID(cfg.Node)),
 		conns:         make(map[network.NodeID]*Connection),
 		pendingClosed: make(map[int][]pendingClosed),
+		deadPeers:     make(map[network.NodeID]bool),
 		lastGB:        make([]*BarrierToken, cfg.NumPorts),
 		lastColl:      make([]*CollToken, cfg.NumPorts),
 	}
@@ -199,6 +205,7 @@ func (m *MCP) ClosePort(n int) error {
 	p.open = false
 	p.barrier = nil
 	p.barrierPending = false
+	m.cancelBarrierWatchdog(p)
 	p.coll = nil
 	p.collPending = false
 	p.deliver = nil
@@ -276,6 +283,9 @@ func (m *MCP) PostSendToken(tok *SendToken) error {
 // transmit is one uninterruptible unit of firmware work — later-arriving
 // tasks (e.g. the next barrier's token) cannot interleave between them.
 func (m *MCP) transmitFrame(f *Frame) {
+	if m.nic.Dead() {
+		return // the card fail-stopped with this frame in flight
+	}
 	if f.DstNode == m.cfg.Node {
 		h, cell := m.pendFrames.Get()
 		*cell = f
@@ -315,6 +325,9 @@ func (m *MCP) loopbackEvent(h uint64) {
 // only the tail) and the frame was data, the receiver nacks so the sender
 // rewinds immediately instead of waiting out its timer.
 func (m *MCP) HandleDelivered(p *network.Packet) {
+	if m.nic.Dead() {
+		return // a dead card receives nothing
+	}
 	if p.Corrupt {
 		m.nic.ExecTagged(m.cfg.Params.CRCCheck, "crc.drop", func() {
 			m.stats.CorruptDrops++
@@ -355,6 +368,8 @@ func (m *MCP) receiveFrame(f *Frame) {
 		cost, label = pr.RecvData, "recv.data"
 	case AckFrame, NackFrame, BarrierAckFrame, BarrierRejectFrame:
 		cost, label = pr.RecvCtl, "recv.ctl"
+	case BarrierProbeFrame:
+		cost, label = pr.RecvCtl, "recv.probe"
 	case BarrierPEFrame:
 		cost, label = pr.BarrierRecv, "recv.pe"
 	case BarrierGatherFrame, BarrierBcastFrame:
@@ -390,6 +405,14 @@ func (m *MCP) handleFrame(f *Frame) {
 		m.handleNack(f)
 	case BarrierPEFrame, BarrierGatherFrame, BarrierBcastFrame:
 		m.handleBarrier(f)
+		if m.cfg.DetectFailures && len(f.Data) > 0 {
+			// Merge the gossiped dead set after the frame itself was
+			// dispatched, so a repair triggered by the merge cannot race the
+			// expected-message bookkeeping for this very frame.
+			m.mergeDeadSet(f.Data)
+		}
+	case BarrierProbeFrame:
+		m.handleBarrierProbe(f)
 	case ReduceFrame, CollBcastFrame:
 		m.handleCollective(f)
 	case BarrierAckFrame:
@@ -541,9 +564,6 @@ func (m *MCP) handleNack(f *Frame) {
 }
 
 func (m *MCP) retransmitData(c *Connection) {
-	if m.giveUpIfExhausted(c) {
-		return
-	}
 	pr := m.cfg.Params
 	for _, it := range c.sentList {
 		it := it
@@ -557,6 +577,8 @@ func (m *MCP) retransmitData(c *Connection) {
 // giveUpIfExhausted counts one retransmission round and, past MaxRetries
 // consecutive rounds without acknowledgment progress, declares the
 // connection dead. It returns true when the round should not be sent.
+// Called once per timer fire — a fire with both data and barrier traffic
+// outstanding is one round, not two.
 func (m *MCP) giveUpIfExhausted(c *Connection) bool {
 	if m.cfg.Params.MaxRetries <= 0 {
 		return false
@@ -628,8 +650,14 @@ func (m *MCP) ackProgress(c *Connection) {
 }
 
 // timerFire runs when the retransmission timer expires with traffic still
-// outstanding: note the fired interval, grow the next one, and rewind.
+// outstanding: note the fired interval, grow the next one, count the round
+// against the retry budget, and rewind. The budget is charged here, once
+// per fire, so a fire that rewinds both data and barrier traffic still
+// counts as a single round.
 func (m *MCP) timerFire(c *Connection) {
+	if m.nic.Dead() {
+		return
+	}
 	if len(c.sentList) == 0 && len(c.barrierSent) == 0 {
 		return
 	}
@@ -642,6 +670,9 @@ func (m *MCP) timerFire(c *Connection) {
 		c.backoff++
 		c.backoffs++
 		m.stats.Backoffs++
+	}
+	if m.giveUpIfExhausted(c) {
+		return
 	}
 	if len(c.sentList) > 0 {
 		m.retransmitData(c)
@@ -665,6 +696,8 @@ func (m *MCP) Recovery(peer network.NodeID) RecoveryStats {
 		RetryRounds:     c.retryRounds,
 		RTO:             c.curRTO,
 		RTOHistory:      append([]sim.Time(nil), c.rtoHist...),
+		Exhaustions:     c.exhaustions,
+		Dead:            c.dead,
 	}
 }
 
@@ -686,9 +719,14 @@ func (m *MCP) RecoveryAll() []RecoveryStats {
 // failConnection gives up on a peer that has not acknowledged anything for
 // MaxRetries retransmission rounds: unacknowledged sends are dropped and
 // their tokens returned to the host marked failed (GM's connection-dead
-// behavior).
+// behavior). The exhaustion is recorded in the connection's recovery stats;
+// under DetectFailures it additionally declares the peer fail-stopped, so
+// in-flight barriers repair themselves around it instead of hanging on the
+// silently discarded barrier traffic.
 func (m *MCP) failConnection(c *Connection) {
 	m.stats.ConnFailures++
+	c.exhaustions++
+	c.probeOut = false
 	failed := c.sentList
 	c.sentList = nil
 	c.barrierSent = nil
@@ -706,6 +744,25 @@ func (m *MCP) failConnection(c *Connection) {
 			})
 		})
 	}
+	if m.cfg.DetectFailures {
+		m.peerDied(c.peer)
+	}
+}
+
+// DeadPeers returns this NIC's current view of fail-stopped peers,
+// ascending (empty when DetectFailures is off or nothing died).
+func (m *MCP) DeadPeers() []network.NodeID { return m.deadNodesSorted() }
+
+func (m *MCP) deadNodesSorted() []network.NodeID {
+	if len(m.deadPeers) == 0 {
+		return nil
+	}
+	out := make([]network.NodeID, 0, len(m.deadPeers))
+	for n := range m.deadPeers {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // deliverHost hands a completed event to the GM library layer.

@@ -99,6 +99,12 @@ type FirmwareParams struct {
 	// LoopbackDelay is the NIC-internal latency for a message whose
 	// destination is the same NIC (no wire traversal).
 	LoopbackDelay sim.Time
+	// BarrierTimeout is the barrier watchdog interval: while a barrier is
+	// in flight and Config.DetectFailures is on, the firmware probes every
+	// peer it is still waiting on each time this interval passes without
+	// completion. 0 (the default) disables the watchdog, so zero-fault
+	// runs schedule no extra events and stay bit-identical.
+	BarrierTimeout sim.Time
 }
 
 // DefaultFirmwareParams returns the calibrated firmware costs.
@@ -159,6 +165,16 @@ type Config struct {
 	// directly instead of traversing the packet path. Off by default to
 	// match the paper's implementation status.
 	LoopbackFlag bool
+	// DetectFailures enables crash-fault detection and degraded barrier
+	// membership: retry-budget exhaustion declares the peer dead instead of
+	// silently dropping its traffic, in-flight barriers repair themselves
+	// around dead peers (PE skips them; GB marks dead children gathered and
+	// promotes orphaned subtrees to root), and completion events carry the
+	// dead-node set. Requires ReliableBarrier for the probe/exhaustion path
+	// to function. Off by default: the paper's protocol hangs on a crashed
+	// peer, and the zero-fault timing contract depends on none of this
+	// machinery scheduling events.
+	DetectFailures bool
 	// MaxSendTokens bounds outstanding sends per port (GM flow control).
 	MaxSendTokens int
 	// CollUnexpCap bounds the per-endpoint queue of early collective
@@ -208,6 +224,20 @@ type Stats struct {
 	ClosedPortRecs   int64
 	ProtocolErrors   int64
 	ConnFailures     int64
+
+	// Failure detection and degraded-membership repair (DetectFailures).
+	// BarrierProbes counts liveness probes sent by the barrier watchdog;
+	// PeersDeclaredDead counts peers this NIC gave up on (directly or by
+	// hearing a dead-set from another survivor); BarrierPeersSkipped counts
+	// dead participants a repair removed from an in-flight barrier;
+	// BarrierRootPromotions counts GB subtrees that elected themselves root
+	// after their parent died; BarrierRepairs counts repair passes that
+	// changed an in-flight barrier's state.
+	BarrierProbes         int64
+	PeersDeclaredDead     int64
+	BarrierPeersSkipped   int64
+	BarrierRootPromotions int64
+	BarrierRepairs        int64
 
 	CollSent      int64
 	CollRecvd     int64

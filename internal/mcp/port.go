@@ -31,6 +31,10 @@ type Port struct {
 	// until its completion, so a second post is rejected even before the
 	// SDMA machine has processed the first.
 	barrierPending bool
+	// watchdog is the barrier watchdog timer (sim.EventID as int64, 0 =
+	// none): armed while a barrier is in flight under DetectFailures, it
+	// probes peers whose messages are overdue (FirmwareParams.BarrierTimeout).
+	watchdog int64
 
 	// coll and collPending mirror barrier/barrierPending for NIC-based
 	// collective operations (Section 8 future work); collBufs counts
@@ -131,6 +135,14 @@ type Connection struct {
 	rtoHist    []sim.Time
 	retransmit int64 // total frames re-sent to this peer
 	backoffs   int64 // timer rounds that grew the interval
+
+	// exhaustions counts times the retry budget ran out and the connection
+	// was declared failed; dead marks the peer fail-stopped (DetectFailures);
+	// probeOut is set while a liveness probe to this peer is unacknowledged,
+	// so the watchdog does not pile probes onto a silent peer.
+	exhaustions int64
+	dead        bool
+	probeOut    bool
 }
 
 // rtoHistCap bounds the per-connection record of fired intervals.
@@ -151,6 +163,11 @@ type RecoveryStats struct {
 	// RTOHistory holds the intervals of fired timer rounds, oldest first
 	// (bounded to the most recent rtoHistCap).
 	RTOHistory []sim.Time
+	// Exhaustions counts times the retry budget (MaxRetries) ran out and
+	// the connection was declared failed — previously this left no trace.
+	Exhaustions int64
+	// Dead reports the peer is considered fail-stopped (DetectFailures).
+	Dead bool
 }
 
 type sentItem struct {

@@ -155,7 +155,9 @@ func TestCorruptFrameDroppedAndNacked(t *testing.T) {
 // faultHookFunc adapts a function to network.FaultHook.
 type faultHookFunc func(network.LinkID, *network.Packet) network.Verdict
 
-func (f faultHookFunc) OnHop(l network.LinkID, p *network.Packet) network.Verdict { return f(l, p) }
+func (f faultHookFunc) OnHop(l network.LinkID, p *network.Packet, _ sim.Time) network.Verdict {
+	return f(l, p)
+}
 
 // TestCorruptWireImageDropped: a mangled byte image fails DecodeFrame at
 // the receiver and is dropped (no delivery, no crash), then recovered by

@@ -138,6 +138,11 @@ type HostEvent struct {
 	// Failed marks a SentEvent whose message could not be delivered: the
 	// connection was declared dead after MaxRetries retransmission rounds.
 	Failed bool
+	// DeadNodes, on a BarrierDoneEvent under DetectFailures, is the set of
+	// peers this NIC considered fail-stopped when the barrier completed
+	// (ascending). A barrier that completed degraded — around crashed
+	// participants — reports them here; nil on a clean completion.
+	DeadNodes []network.NodeID
 }
 
 // eventRecordBytes is the size of the DMA that posts a host event record

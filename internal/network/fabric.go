@@ -30,6 +30,13 @@ type Fabric struct {
 
 	nextLink LinkID
 	nicLinks map[NodeID]NICLinks
+	// chans registers every directed channel by LinkID (index == id), so
+	// the fault layer can resolve a link to its owning event loop and to
+	// the switches it touches.
+	chans []*channel
+	// swLinks[swID] lists every directed channel touching that switch
+	// (transmitted by it or sinking into it), for switch-death faults.
+	swLinks [][]LinkID
 
 	// delivered/dropped are atomic because, on a partitioned fabric,
 	// deliveries happen concurrently on every partition's event loop.
@@ -76,12 +83,40 @@ func (f *Fabric) SetObserver(o Observer) {
 
 // SetFaultHook installs a fault-injection hook consulted at every channel
 // hop, before the fabric's own loss injection (see internal/fault).
-// nil clears it. Panics on a partitioned fabric, as SetObserver does.
+// nil clears it. Panics on a partitioned fabric — hooks that confine their
+// per-link state to partition-internal links are installed with
+// SetFaultHookChecked instead.
 func (f *Fabric) SetFaultHook(h FaultHook) {
 	if h != nil && f.partitioned {
-		panic("network: fault hooks require a serial fabric; run without -partitions")
+		panic("network: fault hooks on a partitioned fabric must go through SetFaultHookChecked")
 	}
 	f.hook = h
+}
+
+// SetFaultHookChecked installs a fault-injection hook on a fabric that may
+// be partitioned. links names every link the hook's rules touch (its
+// stochastic streams and up/down state); on a partitioned fabric each of
+// them must be partition-internal, because per-link fault state is owned by
+// the event loop of the link's sink and a cross-partition trunk would be
+// ruled on by one partition while another schedules its state changes.
+// A faulted trunk yields an error naming the offending cable. The hook's
+// OnHop is still consulted on every link (trunks included) — it just must
+// hold no mutable per-link state for links outside the checked set.
+func (f *Fabric) SetFaultHookChecked(h FaultHook, links []LinkID) error {
+	if h != nil && f.partitioned {
+		for _, l := range links {
+			if int(l) >= len(f.chans) {
+				return fmt.Errorf("network: fault rule names link %d; fabric has %d links", l, len(f.chans))
+			}
+			if c := f.chans[l]; c.group != nil {
+				return fmt.Errorf("network: fault rule touches %s, which crosses partitions %d/%d; "+
+					"scope the plan to partition-internal links or run without -partitions",
+					f.LinkDesc(l), c.xsrc, c.xdst)
+			}
+		}
+	}
+	f.hook = h
+	return nil
 }
 
 // NoteFault forwards a fault-layer event to the observer, if the observer
@@ -185,6 +220,8 @@ func (f *Fabric) AttachNIC(node NodeID, sw *Switch, port int, lp LinkParams, rec
 	// switch -> NIC direction.
 	sw.out[port] = f.newChannel(lp, iface)
 	f.nicLinks[node] = NICLinks{Tx: iface.tx.id, Rx: sw.out[port].id}
+	f.noteSwitchLink(sw.id, iface.tx.id)
+	f.noteSwitchLink(sw.id, sw.out[port].id)
 	f.ifaces[node] = iface
 
 	nv, sv := nicVertex(node), switchVertex(sw.id)
@@ -201,6 +238,10 @@ func (f *Fabric) ConnectSwitches(a *Switch, aPort int, b *Switch, bPort int, lp 
 	}
 	a.out[aPort] = f.newChannel(lp, b)
 	b.out[bPort] = f.newChannel(lp, a)
+	f.noteSwitchLink(a.id, a.out[aPort].id)
+	f.noteSwitchLink(b.id, a.out[aPort].id)
+	f.noteSwitchLink(a.id, b.out[bPort].id)
+	f.noteSwitchLink(b.id, b.out[bPort].id)
 	f.graph.AddEdge(switchVertex(a.id), aPort, switchVertex(b.id))
 	f.graph.AddEdge(switchVertex(b.id), bPort, switchVertex(a.id))
 }
@@ -221,7 +262,77 @@ func (f *Fabric) newChannel(lp LinkParams, sink headSink) *channel {
 	c := &channel{fab: f, params: lp, sink: sink, id: f.nextLink, sim: f.sim}
 	c.arriveFn = c.arriveEvent
 	f.nextLink++
+	f.chans = append(f.chans, c)
 	return c
+}
+
+// noteSwitchLink records that link l touches switch sw.
+func (f *Fabric) noteSwitchLink(sw int, l LinkID) {
+	for len(f.swLinks) <= sw {
+		f.swLinks = append(f.swLinks, nil)
+	}
+	f.swLinks[sw] = append(f.swLinks[sw], l)
+}
+
+// SwitchLinks returns the IDs of every directed channel touching switch sw
+// (cables to its NICs and trunks to other switches, both directions).
+// The slice is owned by the fabric; callers must not mutate it.
+func (f *Fabric) SwitchLinks(sw int) []LinkID {
+	if sw < 0 || sw >= len(f.swLinks) {
+		return nil
+	}
+	return f.swLinks[sw]
+}
+
+// NumSwitches returns the number of switches in the fabric.
+func (f *Fabric) NumSwitches() int { return len(f.switches) }
+
+// LinkSim returns the event loop on which hops over link l execute: the
+// partition owning the link's sink, or the single serial simulator. Fault
+// state changes for a link (flaps, cuts, crash-downs) must be scheduled
+// here so they order deterministically against the link's traffic.
+func (f *Fabric) LinkSim(l LinkID) *sim.Simulator {
+	if int(l) >= len(f.chans) {
+		return f.sim
+	}
+	return f.chans[l].sinkSim()
+}
+
+// LinkCrossesPartitions reports whether link l is a cross-partition trunk.
+// Always false on an unpartitioned fabric.
+func (f *Fabric) LinkCrossesPartitions(l LinkID) bool {
+	return int(l) < len(f.chans) && f.chans[l].group != nil
+}
+
+// LinkDesc returns a human-readable description of a directed channel, for
+// error messages: which components its cable joins. Not a hot path.
+func (f *Fabric) LinkDesc(l LinkID) string {
+	if int(l) >= len(f.chans) {
+		return fmt.Sprintf("link %d (unknown)", l)
+	}
+	c := f.chans[l]
+	sink := "?"
+	switch snk := c.sink.(type) {
+	case *Switch:
+		sink = fmt.Sprintf("switch %d", snk.id)
+	case *Iface:
+		sink = fmt.Sprintf("nic %d", snk.node)
+	}
+	// Find the transmitter by scanning owners (error path only).
+	src := "?"
+	for _, sw := range f.switches {
+		for _, oc := range sw.out {
+			if oc == c {
+				src = fmt.Sprintf("switch %d", sw.id)
+			}
+		}
+	}
+	for _, iface := range f.ifaces {
+		if iface.tx == c {
+			src = fmt.Sprintf("nic %d", iface.node)
+		}
+	}
+	return fmt.Sprintf("link %d (%s -> %s)", l, src, sink)
 }
 
 // Iface returns the interface of an attached NIC, or nil.

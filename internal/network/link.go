@@ -117,7 +117,10 @@ func (c *channel) arriveEvent(h uint64) {
 func (c *channel) arrive(p *Packet, wire sim.Time) {
 	f := c.fab
 	if f.hook != nil {
-		v := f.hook.OnHop(c.id, p)
+		// The hop executes on the sink side's event loop (posted there for
+		// trunks; the transmitter's own loop, which is the same partition,
+		// for intra-partition channels), so that clock is "now".
+		v := f.hook.OnHop(c.id, p, c.sinkSim().Now())
 		if v.Duplicate {
 			// Deliver an independent copy right behind the original, so a
 			// consumed route on one copy cannot corrupt the other.

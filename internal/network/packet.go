@@ -13,7 +13,11 @@
 // approximation of wormhole backpressure; see DESIGN.md).
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"gmsim/internal/sim"
+)
 
 // NodeID identifies a NIC on the fabric. IDs are dense, starting at 0,
 // and double as GM node IDs.
@@ -128,6 +132,9 @@ type Verdict struct {
 
 // FaultHook intercepts every packet head arriving at the end of a directed
 // channel, before the fabric's own loss injection. See internal/fault.
+// now is the clock of the event loop executing the hop — on a partitioned
+// fabric that is the partition owning the link's sink, so hooks must not
+// read any other simulator's clock.
 type FaultHook interface {
-	OnHop(link LinkID, p *Packet) Verdict
+	OnHop(link LinkID, p *Packet, now sim.Time) Verdict
 }

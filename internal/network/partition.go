@@ -18,8 +18,10 @@ import (
 //
 // Partition must be called after the topology is materialized and all NICs
 // are attached, and before any traffic flows. It refuses fabrics with an
-// observer, fault hook, or loss injection installed: those features retain
-// packets or share unsynchronized state and are serial-only.
+// observer, fault hook, or loss injection already installed: observers
+// retain packets and legacy loss shares one stream table. A fault hook
+// whose per-link state is confined to partition-internal links may be
+// installed afterwards via SetFaultHookChecked.
 func (f *Fabric) Partition(assign []int, sims []*sim.Simulator, g *sim.Group) (sim.Time, error) {
 	if len(assign) != len(f.switches) {
 		return 0, fmt.Errorf("network: partition assignment covers %d switches, fabric has %d",

@@ -18,6 +18,15 @@ type Proc struct {
 	parked   chan struct{}
 	wake     func() // wakeNow as a func value, built once so Sleep allocates nothing
 	finished bool
+
+	// killed marks a process destroyed by Kill (a fail-stop host crash).
+	// The goroutine stays parked forever; every wake becomes a no-op.
+	killed bool
+	// waitingOn / timedW record where the process is currently parked, so
+	// Kill can unhook it from the signal's waiter lists and from the
+	// deadlock (Stranded) accounting.
+	waitingOn *Signal
+	timedW    *timedWaiter
 }
 
 // Spawn starts a new process executing body. The body begins running at the
@@ -54,10 +63,41 @@ func (p *Proc) Now() Time { return p.sim.Now() }
 // Finished reports whether the process body has returned.
 func (p *Proc) Finished() bool { return p.finished }
 
+// Killed reports whether the process was destroyed by Kill.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Kill destroys a parked process: the modeled host has crashed (fail-stop)
+// and will never run again. The process leaves the live-process and
+// deadlock accounting, any signal wait is unhooked, and every future wake
+// (a pending sleep, a later Fire) becomes a no-op. Kill must be called from
+// the event loop (a scheduled event), never from a process goroutine, and
+// is idempotent. A finished process is left alone.
+func (p *Proc) Kill() {
+	if p.finished || p.killed {
+		return
+	}
+	p.killed = true
+	p.sim.procs--
+	if sig := p.waitingOn; sig != nil {
+		sig.removeWaiter(p)
+		p.waitingOn = nil
+		p.sim.blocked--
+	}
+	if w := p.timedW; w != nil && !w.done {
+		w.done = true
+		p.sim.Cancel(w.timer)
+		p.timedW = nil
+		p.sim.blocked--
+	}
+}
+
 // wakeNow transfers control from the event loop to the process goroutine and
 // blocks until the process parks again (or finishes). It must only be called
 // from the event loop.
 func (p *Proc) wakeNow() {
+	if p.killed {
+		return // crashed process: wakes are dropped
+	}
 	if p.finished {
 		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
 	}
@@ -96,8 +136,10 @@ func (p *Proc) Wait(sig *Signal) Time {
 		return p.sim.Now()
 	}
 	sig.waiters = append(sig.waiters, p)
+	p.waitingOn = sig
 	p.sim.blocked++
 	p.park()
+	p.waitingOn = nil
 	p.sim.blocked--
 	return p.sim.Now()
 }
@@ -120,9 +162,11 @@ func (p *Proc) WaitTimeout(sig *Signal, d Time) bool {
 		sig.removeTimed(w)
 		p.wakeNow()
 	})
+	p.timedW = w
 	p.sim.blocked++
 	w.onFire = func() { fired = true }
 	p.park()
+	p.timedW = nil
 	p.sim.blocked--
 	return fired
 }
@@ -184,6 +228,16 @@ func (sig *Signal) FireLatched() {
 
 // Waiting reports how many processes are currently parked on the signal.
 func (sig *Signal) Waiting() int { return len(sig.waiters) + len(sig.timedWaiters) }
+
+// removeWaiter unhooks a killed process from the plain waiter list.
+func (sig *Signal) removeWaiter(p *Proc) {
+	for i, x := range sig.waiters {
+		if x == p {
+			sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
+			return
+		}
+	}
+}
 
 func (sig *Signal) removeTimed(w *timedWaiter) {
 	for i, x := range sig.timedWaiters {
