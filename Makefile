@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures scenarios examples clean
+.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures scenarios simd-smoke examples clean
 
 all: build vet test
 
@@ -97,6 +97,11 @@ scenarios:
 	$(GO) test -count=1 -v -timeout 10m \
 		-run 'TestScenarioFleetGolden|TestZeroFaultScenariosMatchFigure5|TestGBBarrierSurvivesNodeCrash|TestScenarioSummariesDeterministic' \
 		./internal/experiments
+
+# Boot the simulation service, post the Figure 5 headline spec, pin its
+# exact latency, prove the repeat is a cache hit, and check SIGTERM drain.
+simd-smoke:
+	sh scripts/simd_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -56,23 +56,23 @@ import (
 	"gmsim/internal/mcp"
 	"gmsim/internal/network"
 	"gmsim/internal/runner"
+	"gmsim/internal/service"
 	"gmsim/internal/sim"
 	"gmsim/internal/stats"
 	"gmsim/internal/topo"
 )
+
+// defaultTopoList is the classic -fig topo sweep when -topo is left unset
+// (the shared spec flag defaults to just "single").
+const defaultTopoList = "single,star,clos3"
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to reproduce: 5a, 5b, 5c, 5d, mpi, mpibar, coll, scale, grain, rel, flap, crash, topo, contend, all")
 	iters := flag.Int("iters", experiments.DefaultIters, "timed barrier iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	loss := flag.String("loss", "0,0.5,1,2,5", "comma-separated per-hop loss percentages for -fig rel")
-	faultplan := flag.String("faultplan", "none", "base fault plan: none, flap, corrupt, chaos for -fig rel; crash, partition for -fig crash")
-	nodes := flag.Int("nodes", 16, "cluster size for -fig rel, -fig flap, -fig crash and -dumptopo")
-	dim := flag.Int("dim", 2, "GB tree dimension for -fig rel, -fig flap and -fig crash")
+	sf := service.BindSpecFlags(flag.CommandLine)
 	outage := flag.Float64("outage", 200, "link outage duration in microseconds for -fig flap")
-	seed := flag.Int64("seed", 42, "fault plan seed for -fig rel, -fig flap and -fig crash")
-	topoList := flag.String("topo", "single,star,clos3", "comma-separated topology kinds for -fig topo (single, twoswitch, star, clos2, clos3); first entry is used by -dumptopo")
-	radix := flag.Int("radix", topo.DefaultRadix, "switch port count for -fig topo, -fig contend and -dumptopo")
 	sizesFlag := flag.String("sizes", "16,32,64,128,256,512,1024", "comma-separated node counts for -fig topo")
 	bytesFlag := flag.Int("bytes", 4096, "message size for -fig contend streams")
 	dumptopo := flag.String("dumptopo", "", "write the -topo/-nodes/-radix fabric as Graphviz DOT to this file ('-' for stdout) and exit")
@@ -80,17 +80,27 @@ func main() {
 	flag.Parse()
 	runner.SetDefault(*parallel)
 
-	kinds, err := parseKindList(*topoList)
+	topoList := sf.Topo
+	topoSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == service.FlagTopo {
+			topoSet = true
+		}
+	})
+	if !topoSet && *fig == "topo" {
+		topoList = defaultTopoList
+	}
+	kinds, err := service.ParseKinds(topoList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -topo: %v\n", err)
 		os.Exit(2)
 	}
 	if *metrics {
-		printMetrics(*nodes, *dim, *iters)
+		printMetrics(sf.Nodes, sf.Dim, *iters)
 		return
 	}
 	if *dumptopo != "" {
-		if err := writeDOT(*dumptopo, kinds[0], *nodes, *radix); err != nil {
+		if err := writeDOT(*dumptopo, kinds[0], sf.Nodes, sf.Radix); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -122,25 +132,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -loss: %v\n", err)
 			os.Exit(2)
 		}
-		base, err := basePlan(*faultplan, *seed, *nodes)
+		if service.FailStop(sf.FaultPlan) {
+			fmt.Fprintf(os.Stderr, "-fig rel wants a non-fail-stop -faultplan (none, flap, corrupt, chaos); %q belongs to -fig crash\n", sf.FaultPlan)
+			os.Exit(2)
+		}
+		base, err := service.NamedPlan(sf.FaultPlan, sf.Seed, sf.Nodes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		printReliability(*nodes, pcts, *dim, *iters, *faultplan, base)
+		printReliability(sf.Nodes, pcts, sf.Dim, *iters, sf.FaultPlan, base)
 	case "flap":
-		printFlap(*nodes, *dim, sim.FromMicros(*outage), *seed)
+		printFlap(sf.Nodes, sf.Dim, sim.FromMicros(*outage), sf.Seed)
 	case "crash":
-		printCrash(*nodes, *dim, *faultplan, *seed)
+		printCrash(sf.Nodes, sf.Dim, sf.FaultPlan, sf.Seed)
 	case "topo":
 		sizes, err := parseIntList(*sizesFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad -sizes: %v\n", err)
 			os.Exit(2)
 		}
-		printTopoScale(kinds, sizes, *radix, *iters)
+		printTopoScale(kinds, sizes, sf.Radix, *iters, sf.Partitions)
 	case "contend":
-		printContention(*radix, *bytesFlag, *iters)
+		printContention(sf.Radix, *bytesFlag, *iters)
 	case "all":
 		rows43 := experiments.Figure5a(*iters)
 		rows72 := experiments.Figure5c(*iters)
@@ -233,26 +247,6 @@ func printMPIBarrier(iters int) {
 	fmt.Print(t.String())
 }
 
-// parseKindList parses the -topo flag: comma-separated topology kinds.
-func parseKindList(s string) ([]topo.Kind, error) {
-	var out []topo.Kind
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		k, err := topo.ParseKind(part)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, k)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty topology list")
-	}
-	return out, nil
-}
-
 // parseIntList parses a comma-separated list of positive integers.
 func parseIntList(s string) ([]int, error) {
 	var out []int
@@ -294,10 +288,14 @@ func writeDOT(path string, kind topo.Kind, nodes, radix int) error {
 	return os.WriteFile(path, []byte(dot), 0o644)
 }
 
-func printTopoScale(kinds []topo.Kind, sizes []int, radix, iters int) {
-	rows := experiments.TopoScaleSweep(kinds, sizes, radix, iters, nil)
+func printTopoScale(kinds []topo.Kind, sizes []int, radix, iters, partitions int) {
+	rows := experiments.TopoScaleSweepPartitioned(kinds, sizes, radix, iters, nil, partitions)
+	engine := ""
+	if partitions > 1 {
+		engine = fmt.Sprintf(", %d-partition engine where the fabric splits", partitions)
+	}
 	t := stats.NewTable(
-		fmt.Sprintf("Barrier latency across switch topologies, LANai 4.3, radix-%d switches (us; GB topology-aware, best dim)", radix),
+		fmt.Sprintf("Barrier latency across switch topologies, LANai 4.3, radix-%d switches%s (us; GB topology-aware, best dim)", radix, engine),
 		"Topology", "Nodes", "Switches", "Diam", "NIC-PE", "Host-PE", "NIC-GB", "Host-GB",
 		"NIC dim", "Host dim", "PE factor", "GB factor")
 	have := make(map[[2]int]bool, len(rows))
@@ -353,47 +351,6 @@ func parseLossList(s string) ([]float64, error) {
 	return out, nil
 }
 
-// basePlan builds the named base fault plan every -fig rel point inherits.
-// Loss percentages from -loss are layered on top of it per point.
-func basePlan(name string, seed int64, nodes int) (*fault.Plan, error) {
-	last := network.NodeID(nodes - 1)
-	switch name {
-	case "none", "":
-		return nil, nil
-	case "flap":
-		// One 300µs outage of the last node's cable, early in the run.
-		return &fault.Plan{Seed: seed, Flaps: []fault.Flap{{
-			Links:  fault.NodeLinks(last),
-			DownAt: sim.FromMicros(500),
-			UpAt:   sim.FromMicros(800),
-		}}}, nil
-	case "corrupt":
-		// Bit errors and truncation on every link, 0.5% each.
-		return &fault.Plan{Seed: seed, Corrupt: []fault.CorruptRule{
-			{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005},
-			{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005, Truncate: true},
-		}}, nil
-	case "chaos":
-		// Everything at once: corruption, duplicates, a flap, a NIC stall.
-		return &fault.Plan{
-			Seed: seed,
-			Corrupt: []fault.CorruptRule{
-				{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005},
-				{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005, Truncate: true},
-			},
-			Duplicate: []fault.DupRule{{Links: fault.AllLinks(), Window: fault.Always, Rate: 0.005}},
-			Flaps: []fault.Flap{{
-				Links:  fault.NodeLinks(last),
-				DownAt: sim.FromMicros(500),
-				UpAt:   sim.FromMicros(800),
-			}},
-			Stalls: []fault.Stall{{Node: 0, At: sim.FromMicros(1500), For: sim.FromMicros(100)}},
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown -faultplan %q (none, flap, corrupt, chaos)", name)
-	}
-}
-
 func printReliability(nodes int, pcts []float64, dim, iters int, planName string, base *fault.Plan) {
 	pts := experiments.ReliabilitySweep(nodes, pcts, dim, iters, base)
 	title := fmt.Sprintf("Reliable barriers under packet loss: %d nodes, LANai 4.3, GB dim %d, base plan %q (us; retrans = frames re-sent per run)",
@@ -432,19 +389,10 @@ func printFlap(nodes, dim int, outage sim.Time, seed int64) {
 // completing; the summaries show who died, who agreed, and what it cost.
 func printCrash(n, dim int, planName string, seed int64) {
 	victim := network.NodeID(n / 2)
-	at := sim.FromMicros(700)
-	var mkPlan func() *fault.Plan
-	switch planName {
-	case "crash", "none", "":
-		planName = "crash"
-		mkPlan = func() *fault.Plan {
-			return &fault.Plan{Seed: seed, Crashes: []fault.Crash{{Node: victim, At: at}}}
-		}
-	case "partition":
-		mkPlan = func() *fault.Plan {
-			return &fault.Plan{Seed: seed, Cuts: []fault.Cut{{Links: fault.NodeLinks(victim), At: at}}}
-		}
-	default:
+	if planName == "none" || planName == "" {
+		planName = service.PlanCrash
+	}
+	if !service.FailStop(planName) {
 		fmt.Fprintf(os.Stderr, "-fig crash wants -faultplan crash or partition, not %q\n", planName)
 		os.Exit(2)
 	}
@@ -453,7 +401,8 @@ func printCrash(n, dim int, planName string, seed int64) {
 		cfg.ReliableBarrier = true
 		cfg.DetectFailures = true
 		cfg.Firmware = experiments.DetectionFirmware()
-		cfg.Fault = mkPlan()
+		// A fresh plan per scenario: injector state is per-run.
+		cfg.Fault, _ = service.NamedPlan(planName, seed, n)
 		return experiments.Scenario{Name: name, Cfg: cfg, Alg: alg, Dim: d}
 	}
 	sums := experiments.RunScenarios([]experiments.Scenario{

@@ -1,0 +1,98 @@
+// Command simd is the simulation-as-a-service daemon: the cluster
+// simulator behind an HTTP/JSON API with a content-addressed result cache.
+//
+// Usage:
+//
+//	simd [-addr :8642] [-cache-mb 256] [-queue 64] [-client-queue 16]
+//	     [-workers W] [-retry-after SECS]
+//
+// Endpoints:
+//
+//	POST /v1/runs              submit a spec; blocks until the result
+//	POST /v1/runs?async=1      submit; returns 202 + job ID immediately
+//	GET  /v1/runs/{id}         job status, queue position, result
+//	GET  /v1/runs/{id}/trace   Chrome/Perfetto trace JSON of the run
+//	GET  /v1/results/{hash}    cached result by content address
+//	GET  /v1/scenarios         the 13-cell chaos fleet, as one batch
+//	GET  /healthz              liveness + queue/running gauges
+//	GET  /metrics              service + accumulated cluster counters
+//
+// Every simulation is bit-deterministic, so a result is a pure function
+// of its canonical spec: the daemon hashes each spec's canonical JSON and
+// serves repeats from an LRU cache without re-simulating. Misses run on a
+// bounded job queue over the shared worker pool, round-robin across
+// client API keys (X-API-Key); a full queue rejects with 429 and a
+// Retry-After hint.
+//
+// SIGTERM or SIGINT drains gracefully: intake stops (503), queued and
+// running jobs finish, the listener closes, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gmsim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB (0 disables caching)")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "total queued-job bound")
+	clientQueue := flag.Int("client-queue", service.DefaultClientDepth, "per-API-key queued-job bound")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds on 429 rejections")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "maximum graceful-drain wait before exiting nonzero")
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1 // disabled, not defaulted
+	}
+	srv := service.NewServer(service.Config{
+		CacheBytes:        cacheBytes,
+		QueueDepth:        *queue,
+		ClientDepth:       *clientQueue,
+		Workers:           *workers,
+		RetryAfterSeconds: *retryAfter,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("simd: listening on %s (cache %d MiB, queue %d, per-client %d)",
+		*addr, *cacheMB, *queue, *clientQueue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("simd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("simd: draining")
+
+	// Drain order: stop intake first so queued work is finite, then let
+	// in-flight HTTP requests (sync submits included) finish, then wait for
+	// the workers to run the queue dry.
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("simd: http shutdown: %v", err)
+	}
+	if err := srv.WaitDrained(dctx); err != nil {
+		log.Fatalf("simd: drain timed out: %v", err)
+	}
+	<-errc // ListenAndServe has returned ErrServerClosed
+	fmt.Println("simd: drained, bye")
+}

@@ -7,10 +7,18 @@
 //
 //	sweep [-nic 4.3|7.2] [-level nic|host] [-sizes 4,8,16] [-iters N] [-parallel W]
 //	sweep -topo star|clos2|clos3 [-radix R] [-sizes 32,64] ...
+//	sweep -faultplan corrupt [-seed S]        # reliable barrier under faults
+//	sweep -nodes 16 -dim 4                    # one size, one dimension
 //
-// With -topo the cluster is wired as the named multi-switch fabric
+// The spec flags (-topo, -radix, -nodes, -dim, -faultplan, -seed,
+// -partitions) are the shared vocabulary of internal/service: the same
+// names and defaults as cmd/barrierbench and the simd HTTP spec. With a
+// non-single -topo the cluster is wired as the named multi-switch fabric
 // (internal/topo) from radix-R switches and the GB tree is mapped onto it
-// (intra-switch subtrees, one trunk crossing per leaf switch).
+// (intra-switch subtrees, one trunk crossing per leaf switch). An explicit
+// -nodes overrides -sizes; an explicit -dim restricts the sweep to that
+// dimension. -partitions > 1 runs the conservative parallel engine
+// (multi-switch fabrics only; results are bit-identical to serial).
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
 	"gmsim/internal/runner"
+	"gmsim/internal/service"
 	"gmsim/internal/stats"
 	"gmsim/internal/topo"
 )
@@ -34,10 +43,19 @@ func main() {
 	sizesArg := flag.String("sizes", "4,8,16", "comma-separated node counts")
 	iters := flag.Int("iters", 100, "timed iterations per point")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
-	topoArg := flag.String("topo", "", "wire the cluster as this topology kind (single, twoswitch, star, clos2, clos3) and map the GB tree onto it")
-	radix := flag.Int("radix", topo.DefaultRadix, "switch port count for -topo fabrics")
+	sf := service.BindSpecFlags(flag.CommandLine)
 	flag.Parse()
 	runner.SetDefault(*parallel)
+
+	kind, err := sf.FirstKind()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if service.FailStop(sf.FaultPlan) {
+		fmt.Fprintf(os.Stderr, "-faultplan %s is fail-stop; dimension sweeps need completing clusters (use barrierbench -fig crash)\n", sf.FaultPlan)
+		os.Exit(2)
+	}
 
 	mkCfg := cluster.DefaultConfig
 	if *nicModel == "7.2" {
@@ -46,23 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown NIC model %q\n", *nicModel)
 		os.Exit(2)
 	}
-	topoAware := false
-	if *topoArg != "" {
-		kind, err := topo.ParseKind(*topoArg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		base := mkCfg
-		mkCfg = func(n int) cluster.Config {
-			cfg := base(n)
-			tc := experiments.TopoConfig(kind, n, *radix)
-			cfg.Switch = tc.Switch
-			cfg.Topology = tc.Topology
-			return cfg
-		}
-		topoAware = true
-	}
+	topoAware := kind != topo.Single
 	level := experiments.NICLevel
 	if *levelArg == "host" {
 		level = experiments.HostLevel
@@ -71,18 +73,62 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, s := range strings.Split(*sizesArg, ",") {
+	// An explicit -nodes wins over the -sizes list; an explicit -dim
+	// restricts each sweep to that single dimension.
+	nodesSet, dimSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case service.FlagNodes:
+			nodesSet = true
+		case service.FlagDim:
+			dimSet = true
+		}
+	})
+	sizes := strings.Split(*sizesArg, ",")
+	if nodesSet {
+		sizes = []string{strconv.Itoa(sf.Nodes)}
+	}
+
+	for _, s := range sizes {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 2 {
 			fmt.Fprintf(os.Stderr, "bad size %q\n", s)
 			os.Exit(2)
 		}
 		cfg := mkCfg(n)
+		if topoAware {
+			tc := experiments.TopoConfig(kind, n, sf.Radix)
+			cfg.Switch = tc.Switch
+			cfg.Topology = tc.Topology
+		}
+		if plan, err := service.NamedPlan(sf.FaultPlan, sf.Seed, n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		} else if plan != nil {
+			cfg.Fault = plan
+			cfg.ReliableBarrier = true
+		}
+		if sf.Partitions > 1 {
+			cfg.Partitions = sf.Partitions
+		}
 		if err := cfg.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		pts := experiments.GBDimSweepOn(cfg, level, *iters, topoAware)
+		if dimSet {
+			kept := pts[:0]
+			for _, p := range pts {
+				if p.Dim == sf.Dim {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				fmt.Fprintf(os.Stderr, "-dim %d out of range [1,%d] at %d nodes\n", sf.Dim, n-1, n)
+				os.Exit(2)
+			}
+			pts = kept
+		}
 		best := pts[0]
 		for _, p := range pts {
 			if p.Micros < best.Micros {
@@ -90,8 +136,14 @@ func main() {
 			}
 		}
 		fabric := ""
-		if *topoArg != "" {
-			fabric = fmt.Sprintf(", %s radix %d, mapped tree", *topoArg, *radix)
+		if topoAware {
+			fabric = fmt.Sprintf(", %s radix %d, mapped tree", kind, sf.Radix)
+		}
+		if sf.FaultPlan != service.PlanNone {
+			fabric += fmt.Sprintf(", reliable, %s plan", sf.FaultPlan)
+		}
+		if sf.Partitions > 1 {
+			fabric += fmt.Sprintf(", %d-partition engine", sf.Partitions)
 		}
 		tbl := stats.NewTable(
 			fmt.Sprintf("%s-based GB barrier, %d nodes, LANai %s%s: latency vs tree dimension",
@@ -99,7 +151,7 @@ func main() {
 			"Dim", "Latency (us)", "")
 		for _, p := range pts {
 			mark := ""
-			if p.Dim == best.Dim {
+			if p.Dim == best.Dim && len(pts) > 1 {
 				mark = "<- optimal (reported in Figure 5)"
 			}
 			tbl.AddRow(p.Dim, p.Micros, mark)

@@ -75,6 +75,16 @@ func gbDims(n int) []int {
 // callers that want to report the gaps can compare rows against
 // kinds x sizes.
 func TopoScaleSweep(kinds []topo.Kind, sizes []int, radix, iters int, dims []int) []TopoScaleRow {
+	return TopoScaleSweepPartitioned(kinds, sizes, radix, iters, dims, 1)
+}
+
+// TopoScaleSweepPartitioned is TopoScaleSweep with each cluster split into
+// the given number of engine partitions (the conservative parallel engine;
+// results are bit-identical at any partition count). Rows whose fabric
+// cannot host the split — too few leaf switches, or the single-crossbar
+// baseline, which has no switch boundary to cut — silently run serial, so
+// mixed sweeps like single+clos3 still produce every row.
+func TopoScaleSweepPartitioned(kinds []topo.Kind, sizes []int, radix, iters int, dims []int, partitions int) []TopoScaleRow {
 	type rowPlan struct {
 		kind               topo.Kind
 		n                  int
@@ -99,6 +109,12 @@ func TopoScaleSweep(kinds []topo.Kind, sizes []int, radix, iters int, dims []int
 				continue
 			}
 			cfg := TopoConfig(kind, n, radix)
+			if partitions > 1 {
+				cfg.Partitions = partitions
+				if cfg.Validate() != nil {
+					cfg.Partitions = 1
+				}
+			}
 			ds := dims
 			if ds == nil {
 				ds = gbDims(n)

@@ -1,0 +1,99 @@
+package service
+
+// fairQueue orders pending jobs round-robin across client keys: each pop
+// takes the oldest job of the next key that has one, so a client that
+// floods the queue cannot starve the others — its jobs interleave one-for-
+// one with everyone else's. Not safe for concurrent use; the server holds
+// its own lock around every call.
+type fairQueue struct {
+	queues map[string][]*Job
+	keys   []string // round-robin ring, append-only per new key
+	next   int      // ring index the next pop starts scanning from
+	depth  int      // total queued jobs
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{queues: make(map[string][]*Job)}
+}
+
+// push appends a job to its client's FIFO.
+func (q *fairQueue) push(j *Job) {
+	if _, ok := q.queues[j.Key]; !ok {
+		q.keys = append(q.keys, j.Key)
+	}
+	q.queues[j.Key] = append(q.queues[j.Key], j)
+	q.depth++
+}
+
+// pop removes and returns the next job in round-robin order, or nil when
+// the queue is empty.
+func (q *fairQueue) pop() *Job {
+	if q.depth == 0 {
+		return nil
+	}
+	for i := 0; i < len(q.keys); i++ {
+		key := q.keys[(q.next+i)%len(q.keys)]
+		jobs := q.queues[key]
+		if len(jobs) == 0 {
+			continue
+		}
+		j := jobs[0]
+		q.queues[key] = jobs[1:]
+		q.depth--
+		// The next pop starts after this key, so siblings wait their turn.
+		q.next = (q.next + i + 1) % len(q.keys)
+		return j
+	}
+	return nil
+}
+
+// lenFor returns the number of jobs queued for one client key.
+func (q *fairQueue) lenFor(key string) int { return len(q.queues[key]) }
+
+// position returns the 1-based round-robin dispatch position of a queued
+// job: how many pops would happen before (and including) this job's. 0
+// means the job is not queued.
+func (q *fairQueue) position(j *Job) int {
+	pos := 0
+	// Simulate the round-robin: in each full ring pass, every key with
+	// depth > pass contributes one job. Cheaper than cloning: find the
+	// job's index in its own queue, then count jobs that dispatch earlier.
+	idx := -1
+	for i, cand := range q.queues[j.Key] {
+		if cand == j {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	// Jobs dispatched before j: for every other key, the number of its
+	// jobs that go out in rounds 0..idx (at most idx+1, bounded by queue
+	// length), adjusted for ring order within j's final round.
+	ringPos := func(key string) int {
+		for i := 0; i < len(q.keys); i++ {
+			if q.keys[(q.next+i)%len(q.keys)] == key {
+				return i
+			}
+		}
+		return len(q.keys)
+	}
+	jRing := ringPos(j.Key)
+	for _, key := range q.keys {
+		if key == j.Key {
+			pos += idx
+			continue
+		}
+		n := len(q.queues[key])
+		full := idx // rounds before j's round
+		if ringPos(key) < jRing {
+			full++ // this key dispatches earlier within j's round too
+		}
+		if n < full {
+			full = n
+		}
+		pos += full
+	}
+	return pos + 1
+}

@@ -1,0 +1,583 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"gmsim/internal/experiments"
+	"gmsim/internal/runner"
+	"gmsim/internal/stats"
+)
+
+// Config sizes the service.
+type Config struct {
+	// CacheBytes is the result cache budget (result + trace payloads).
+	// 0 means DefaultCacheBytes; negative disables caching.
+	CacheBytes int64
+	// QueueDepth bounds the total number of queued jobs; a submit beyond
+	// it is rejected with 429 and a Retry-After hint. 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// ClientDepth bounds the queued jobs of one API key, so a single
+	// client cannot own the whole queue. 0 means DefaultClientDepth.
+	ClientDepth int
+	// Workers is the number of concurrent simulations. 0 means the runner
+	// pool default (GOMAXPROCS).
+	Workers int
+	// RetryAfterSeconds is the Retry-After hint on queue-full rejections.
+	// 0 means 1.
+	RetryAfterSeconds int
+}
+
+// Service defaults.
+const (
+	DefaultCacheBytes  = 256 << 20
+	DefaultQueueDepth  = 64
+	DefaultClientDepth = 16
+)
+
+// maxJobs bounds the completed-job history kept for GET /v1/runs/{id};
+// beyond it the oldest finished jobs are forgotten (their results usually
+// stay reachable by hash via the cache).
+const maxJobs = 4096
+
+// Job states as served in status JSON.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job is one submitted simulation. Fields other than ID/Key/Spec/Hash are
+// guarded by the server mutex until done closes, after which they are
+// immutable.
+type Job struct {
+	ID   string
+	Key  string
+	Spec Spec
+	Hash string
+
+	status    string
+	errMsg    string
+	entry     Entry
+	hasEntry  bool
+	coalesced int
+	done      chan struct{}
+}
+
+// JobStatus is the JSON form of a job's state.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Hash   string `json:"hash"`
+	// Position is the job's 1-based dispatch position while queued.
+	Position int `json:"position,omitempty"`
+	// Coalesced counts additional submissions that joined this job
+	// instead of re-simulating.
+	Coalesced int             `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Server is the simulation service: a content-addressed result cache in
+// front of a fair bounded job queue over a persistent runner pool.
+// Create with NewServer, mount Handler on an http.Server, and Drain on
+// shutdown.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	reg   *stats.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    *fairQueue
+	jobs     map[string]*Job
+	jobOrder []string
+	byHash   map[string]*Job
+	running  int
+	draining bool
+	seq      int
+
+	pool        *runner.Pool
+	workersDone chan struct{}
+}
+
+// NewServer builds the service and starts its workers.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.ClientDepth == 0 {
+		cfg.ClientDepth = DefaultClientDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runner.Default()
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	s := &Server{
+		cfg:         cfg,
+		cache:       NewCache(cfg.CacheBytes),
+		reg:         stats.NewRegistry(),
+		queue:       newFairQueue(),
+		jobs:        make(map[string]*Job),
+		byHash:      make(map[string]*Job),
+		pool:        runner.NewPool(cfg.Workers),
+		workersDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// The pool's workers all enter the dispatch loop once and stay there
+	// until drain: the long-lived service owns one persistent pool instead
+	// of forking goroutines per job.
+	go func() {
+		defer close(s.workersDone)
+		defer s.pool.Close()
+		s.pool.Each(func(int) { s.workerLoop() })
+	}()
+	return s
+}
+
+// workerLoop pulls jobs until the queue is empty and the server draining.
+func (s *Server) workerLoop() {
+	for {
+		j := s.nextJob()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// nextJob blocks for the next round-robin job; nil means drained.
+func (s *Server) nextJob() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j := s.queue.pop(); j != nil {
+			j.status = JobRunning
+			s.running++
+			return j
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one job and publishes its outcome to the job record,
+// the cache and the metrics registry.
+func (s *Server) runJob(j *Job) {
+	out, err := safeExecute(j.Spec)
+	var entry Entry
+	if err == nil {
+		var resultJSON []byte
+		resultJSON, err = json.Marshal(out.Result)
+		if err == nil {
+			entry = Entry{Result: resultJSON, Trace: out.Trace}
+		}
+	}
+	if err == nil {
+		s.cache.Put(j.Hash, entry)
+		if out.Metrics != nil {
+			s.reg.AddAll(out.Metrics)
+		}
+		s.reg.Add("service.runs", 1)
+	}
+
+	s.mu.Lock()
+	s.running--
+	delete(s.byHash, j.Hash)
+	if err != nil {
+		j.status = JobFailed
+		j.errMsg = err.Error()
+		s.reg.Add("service.jobs_failed", 1)
+	} else {
+		j.status = JobDone
+		j.entry = entry
+		j.hasEntry = true
+		s.reg.Add("service.jobs_done", 1)
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// safeExecute runs Execute with simulator panics (deadlocked model
+// programs, invalid late-bound configs) converted to job errors, so one
+// bad spec cannot take a service worker down.
+func safeExecute(spec Spec) (out Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulation panicked: %v", r)
+		}
+	}()
+	return Execute(spec)
+}
+
+// BeginDrain stops job intake: subsequent submissions get 503, queued and
+// running jobs keep going.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// WaitDrained blocks until every queued and running job has finished (the
+// workers have exited), or the context expires.
+func (s *Server) WaitDrained(ctx context.Context) error {
+	select {
+	case <-s.workersDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain is BeginDrain + WaitDrained.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	return s.WaitDrained(ctx)
+}
+
+// Cache exposes the result cache (tests and cmd/simd metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Registry exposes the service metrics registry.
+func (s *Server) Registry() *stats.Registry { return s.reg }
+
+// submit enqueues a canonical spec for a client key, coalescing onto an
+// identical pending job when one exists. It returns the job, or an error
+// with an HTTP status when the submission is rejected.
+func (s *Server) submit(spec Spec, hash, key string) (*Job, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+	if j, ok := s.byHash[hash]; ok {
+		j.coalesced++
+		s.reg.Add("service.jobs_coalesced", 1)
+		return j, 0, nil
+	}
+	if s.queue.depth >= s.cfg.QueueDepth {
+		s.reg.Add("service.rejected", 1)
+		return nil, http.StatusTooManyRequests, fmt.Errorf("queue full (%d jobs)", s.queue.depth)
+	}
+	if s.queue.lenFor(key) >= s.cfg.ClientDepth {
+		s.reg.Add("service.rejected", 1)
+		return nil, http.StatusTooManyRequests, fmt.Errorf("client %q has %d queued jobs", key, s.queue.lenFor(key))
+	}
+	s.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("j%06d-%s", s.seq, hash[:8]),
+		Key:    key,
+		Spec:   spec,
+		Hash:   hash,
+		status: JobQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	s.byHash[hash] = j
+	s.queue.push(j)
+	s.pruneJobsLocked()
+	s.cond.Signal()
+	return j, 0, nil
+}
+
+// pruneJobsLocked forgets the oldest finished jobs beyond maxJobs.
+func (s *Server) pruneJobsLocked() {
+	if len(s.jobOrder) <= maxJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	excess := len(s.jobOrder) - maxJobs
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && (j.status == JobDone || j.status == JobFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// statusLocked snapshots a job's status JSON. Caller holds s.mu.
+func (s *Server) statusLocked(j *Job, includeResult bool) JobStatus {
+	st := JobStatus{
+		ID:        j.ID,
+		Status:    j.status,
+		Hash:      j.Hash,
+		Coalesced: j.coalesced,
+		Error:     j.errMsg,
+	}
+	if j.status == JobQueued {
+		st.Position = s.queue.position(j)
+	}
+	if includeResult && j.status == JobDone && j.hasEntry {
+		st.Result = j.entry.Result
+	}
+	return st
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /v1/results/{hash}/trace", s.handleResultTrace)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// clientKey identifies the submitting client for fairness accounting.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeResult serves a stored result byte-for-byte, flagging cache status
+// in a header so hit and miss bodies stay identical.
+func writeResult(w http.ResponseWriter, entry Entry, cached bool, jobID string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if jobID != "" {
+		w.Header().Set("X-Job-Id", jobID)
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(entry.Result)
+}
+
+// handleSubmit is POST /v1/runs: validate, canonicalize and hash the spec;
+// serve a cache hit immediately (a hit never re-simulates); otherwise
+// enqueue and either wait (sync) or return the job ID (?async=1).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec JSON: %v", err)
+		return
+	}
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := canon.Hash()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	async := r.URL.Query().Get("async") == "1"
+
+	if entry, ok := s.cache.Get(hash); ok {
+		writeResult(w, entry, true, "")
+		return
+	}
+	j, code, err := s.submit(canon, hash, clientKey(r))
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	if async {
+		s.mu.Lock()
+		st := s.statusLocked(j, false)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job still completes and fills the
+		// cache for the retry.
+		return
+	}
+	if j.status == JobFailed {
+		writeError(w, http.StatusInternalServerError, "%s", j.errMsg)
+		return
+	}
+	writeResult(w, j.entry, false, j.ID)
+}
+
+// handleRunStatus is GET /v1/runs/{id}: job state, queue position while
+// queued, result JSON once done.
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	st := s.statusLocked(j, true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRunTrace is GET /v1/runs/{id}/trace: the run's Chrome/Perfetto
+// trace JSON.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var entry Entry
+	var status string
+	if ok {
+		status = j.status
+		entry = j.entry
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run %q", r.PathValue("id"))
+		return
+	}
+	if status != JobDone {
+		writeError(w, http.StatusConflict, "run %s is %s", j.ID, status)
+		return
+	}
+	if len(entry.Trace) == 0 {
+		writeError(w, http.StatusNotFound, "run %s was not traced (fail-stop and partitioned runs are untraced)", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(entry.Trace)
+}
+
+// handleResult is GET /v1/results/{hash}: a cached result by content
+// address, independent of any job.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.cache.Get(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %q", r.PathValue("hash"))
+		return
+	}
+	writeResult(w, entry, true, "")
+}
+
+// handleResultTrace is GET /v1/results/{hash}/trace.
+func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.cache.Get(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %q", r.PathValue("hash"))
+		return
+	}
+	if len(entry.Trace) == 0 {
+		writeError(w, http.StatusNotFound, "result was not traced")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(entry.Trace)
+}
+
+// scenarioCacheKey addresses the chaos fleet batch in the result cache.
+const scenarioCacheKey = "scenarios/fleet/v1"
+
+// ScenarioCell is one fleet cell's outcome as served by /v1/scenarios.
+type ScenarioCell struct {
+	Name    string `json:"name"`
+	Summary string `json:"summary"`
+}
+
+// handleScenarios is GET /v1/scenarios: the 13-cell chaos fleet as one
+// batch, cached like any other deterministic result.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if entry, ok := s.cache.Get(scenarioCacheKey); ok {
+		writeResult(w, entry, true, "")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sums := experiments.RunScenarios(experiments.ScenarioFleet())
+	cells := make([]ScenarioCell, 0, len(sums))
+	for _, sum := range sums {
+		cells = append(cells, ScenarioCell{Name: sum.Name, Summary: sum.String()})
+	}
+	body, err := json.Marshal(cells)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reg.Add("service.fleet_runs", 1)
+	s.cache.Put(scenarioCacheKey, Entry{Result: body})
+	writeResult(w, Entry{Result: body}, false, "")
+}
+
+// handleHealth is GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	queued, running := s.queue.depth, s.running
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  queued,
+		"running": running,
+	})
+}
+
+// handleMetrics is GET /metrics: the accumulated cluster counters plus the
+// service's own, as plain "name value" lines.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	hits, misses, evictions := s.cache.Stats()
+	snap.Set("service.cache_hits", hits)
+	snap.Set("service.cache_misses", misses)
+	snap.Set("service.cache_evictions", evictions)
+	snap.Set("service.cache_entries", int64(s.cache.Len()))
+	snap.Set("service.cache_bytes", s.cache.Bytes())
+	s.mu.Lock()
+	snap.Set("service.queue_depth", int64(s.queue.depth))
+	snap.Set("service.jobs_running", int64(s.running))
+	if s.draining {
+		snap.Set("service.draining", 1)
+	} else {
+		snap.Set("service.draining", 0)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprint(w, snap.Dump(false))
+}

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -37,6 +39,77 @@ func TestRegistryNameOrder(t *testing.T) {
 	r.Add("alpha", 1)
 	if len(r.Names()) != 3 {
 		t.Fatalf("names = %v", r.Names())
+	}
+}
+
+// TestRegistrySnapshotDuringWrites hammers concurrent readers against
+// writers: the simd service serves /metrics snapshots while simulation
+// workers merge run counters in. Run under -race (CI does), any data race
+// in the registry fails the build; without -race it still checks that
+// snapshots are internally consistent (a counter never appears in names
+// without a value) and monotone for an add-only counter.
+func TestRegistrySnapshotDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	const writers, rounds = 4, 500
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			src := NewRegistry()
+			src.Set("mcp.BarrierCompleted", 1)
+			src.Set(fmt.Sprintf("writer.%d", w), 1)
+			for i := 0; i < rounds; i++ {
+				r.Add("service.runs", 1)
+				r.Set(fmt.Sprintf("gauge.%d", w), int64(i))
+				r.AddAll(src)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	var lastRuns int64
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		snap := r.Snapshot()
+		for _, name := range snap.Names() {
+			if !snap.Has(name) {
+				t.Fatalf("snapshot names %q but has no value", name)
+			}
+		}
+		_ = r.Dump(false)
+		_ = r.SortedNames()
+		if runs := snap.Get("service.runs"); runs < lastRuns {
+			t.Fatalf("add-only counter went backwards: %d -> %d", lastRuns, runs)
+		} else {
+			lastRuns = runs
+		}
+	}
+	if got := r.Get("service.runs"); got != writers*rounds {
+		t.Fatalf("service.runs = %d, want %d", got, writers*rounds)
+	}
+	if got := r.Get("mcp.BarrierCompleted"); got != writers*rounds {
+		t.Fatalf("merged counter = %d, want %d", got, writers*rounds)
+	}
+}
+
+func TestRegistrySnapshotIsDetached(t *testing.T) {
+	r := NewRegistry()
+	r.Set("a", 1)
+	snap := r.Snapshot()
+	r.Set("a", 2)
+	r.Set("b", 3)
+	if snap.Get("a") != 1 || snap.Has("b") {
+		t.Fatalf("snapshot not detached: a=%d hasB=%v", snap.Get("a"), snap.Has("b"))
+	}
+	snap.Set("c", 4)
+	if r.Has("c") {
+		t.Fatal("writing the snapshot leaked into the source")
 	}
 }
 

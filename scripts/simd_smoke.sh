@@ -1,0 +1,88 @@
+#!/bin/sh
+# simd end-to-end smoke: build the simulation service, boot it, post the
+# paper's headline experiment (16-node NIC-PE, Figure 5), pin its latency,
+# prove the repeat is a cache hit, and check graceful SIGTERM drain.
+#
+# Everything asserted here is bit-deterministic: the mean is matched as an
+# exact string, not a tolerance.
+set -eu
+
+ADDR="${SIMD_ADDR:-127.0.0.1:8643}"
+URL="http://$ADDR"
+# The simulated 16-node NIC-PE mean (us), warmup 5, iters 200 — the
+# Figure 5 headline cell (paper measured 102.14us on real hardware; the
+# calibration test pins the 5% agreement).
+WANT_MEAN='"mean_us":101.133'
+# Content address of the canonical spec — must match
+# internal/service/testdata/figure5_16node.hash.
+WANT_HASH='056277034391146d77e174f33927e4120ee09cb130e07bf93ee49aa139c04ad5'
+
+workdir="$(mktemp -d)"
+simd_pid=""
+cleanup() {
+    [ -n "$simd_pid" ] && kill "$simd_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- simd log ---" >&2
+    cat "$workdir/simd.log" >&2 || true
+    exit 1
+}
+
+echo "== build"
+go build -o "$workdir/simd" ./cmd/simd
+
+echo "== boot on $ADDR"
+"$workdir/simd" -addr "$ADDR" >"$workdir/simd.log" 2>&1 &
+simd_pid=$!
+for i in $(seq 1 50); do
+    if curl -sf "$URL/healthz" >/dev/null 2>&1; then break; fi
+    [ "$i" = 50 ] && fail "simd never became healthy"
+    sleep 0.2
+done
+
+echo "== cold run: 16-node NIC-PE (Figure 5 headline)"
+curl -sf -D "$workdir/h1" -X POST "$URL/v1/runs" -d '{"nodes":16}' >"$workdir/r1" \
+    || fail "cold POST failed"
+grep -q "$WANT_MEAN" "$workdir/r1" \
+    || fail "cold run mean mismatch; want $WANT_MEAN in: $(cat "$workdir/r1")"
+grep -q "\"hash\":\"$WANT_HASH\"" "$workdir/r1" \
+    || fail "spec hash mismatch; want $WANT_HASH in: $(cat "$workdir/r1")"
+grep -qi '^x-cache: miss' "$workdir/h1" || fail "cold run was not a cache miss"
+
+echo "== warm run: must be a cache hit, byte-identical, no re-simulation"
+curl -sf -D "$workdir/h2" -X POST "$URL/v1/runs" -d '{"nodes":16,"topo":"single","alg":"PE"}' >"$workdir/r2" \
+    || fail "warm POST failed"
+grep -qi '^x-cache: hit' "$workdir/h2" || fail "warm run was not a cache hit"
+cmp -s "$workdir/r1" "$workdir/r2" || fail "warm body differs from cold body"
+curl -sf "$URL/metrics" >"$workdir/metrics" || fail "metrics fetch failed"
+grep -Eq '^service\.runs +1$' "$workdir/metrics" \
+    || fail "expected exactly 1 simulation; metrics: $(grep '^service\.' "$workdir/metrics")"
+grep -Eq '^service\.cache_hits +1$' "$workdir/metrics" \
+    || fail "expected exactly 1 cache hit; metrics: $(grep '^service\.' "$workdir/metrics")"
+
+echo "== trace endpoint"
+curl -sf "$URL/v1/results/$WANT_HASH/trace" | head -c 64 | grep -q 'traceEvents' \
+    || fail "trace endpoint did not serve Chrome JSON"
+
+echo "== SIGTERM drain"
+kill -TERM "$simd_pid"
+i=0
+while kill -0 "$simd_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" = 100 ] && fail "simd did not exit within 20s of SIGTERM"
+    sleep 0.2
+done
+# $! was backgrounded by this shell, so wait recovers its exit status.
+set +e
+wait "$simd_pid"
+status=$?
+set -e
+simd_pid=""
+[ "$status" = 0 ] || fail "simd exited $status after SIGTERM"
+grep -q 'drained, bye' "$workdir/simd.log" || fail "no clean-drain message in log"
+
+echo "PASS: simd smoke"
