@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures scenarios simd-smoke examples clean
+.PHONY: all build test vet race race-partition fuzz bench benchgate cover figures scenarios simd-smoke simd-restart-smoke examples clean
 
 all: build vet test
 
@@ -29,15 +29,16 @@ race-partition:
 	$(GO) test -race -count=1 -run 'Partition|TieBreak|Group|Pool' \
 		./internal/sim ./internal/runner ./internal/cluster ./internal/network ./internal/topo
 
-# Short fuzzing pass over the wire codec, the duplicate-suppression window
-# and the fault-plan validator (go's fuzzer allows one target per
-# invocation). Checked-in seed corpora live in internal/mcp/testdata/fuzz/
-# and internal/fault/testdata/fuzz/.
+# Short fuzzing pass over the wire codec, the duplicate-suppression window,
+# the fault-plan validator and the result-store entry codec (go's fuzzer
+# allows one target per invocation). Checked-in seed corpora live under
+# each package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzSeqWindow$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzPlanValidate$$ -fuzztime=$(FUZZTIME) ./internal/fault
+	$(GO) test -run=^$$ -fuzz=^FuzzStoreEntryDecode$$ -fuzztime=$(FUZZTIME) ./internal/service
 
 # Coverage with per-package floors. The observability layer (internal/trace),
 # the analytic model (internal/model) and the fault injector (internal/fault)
@@ -102,6 +103,13 @@ scenarios:
 # exact latency, prove the repeat is a cache hit, and check SIGTERM drain.
 simd-smoke:
 	sh scripts/simd_smoke.sh
+
+# Restart chaos: SIGKILL simd mid-simulation, restart on the same state
+# directory, and require byte-identical results from disk with zero
+# re-simulation, journal replay of the interrupted job, corruption
+# quarantine, and a nonzero exit when the drain timeout is exceeded.
+simd-restart-smoke:
+	sh scripts/simd_restart_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

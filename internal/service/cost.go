@@ -1,0 +1,69 @@
+package service
+
+import "time"
+
+// Cost estimation: admission control and per-job deadlines both need to
+// know, before running anything, roughly how much engine work a spec buys.
+// The estimate is in simulated events — the engine's native unit (simbench
+// records ns/event, so events divided by a conservative rate is a wall-
+// clock bound). It only has to be order-of-magnitude right: admission
+// compares sums of estimates against a budget, and deadlines multiply in
+// enough headroom that an honest job never trips one.
+
+// Cost/deadline defaults.
+const (
+	// DefaultCostBudget bounds the summed estimated cost of queued and
+	// running jobs — roughly 75 full 1024-node chaos runs.
+	DefaultCostBudget = 256 << 20
+	// DefaultDeadlineBase is the flat deadline every job gets on top of
+	// its size-scaled share.
+	DefaultDeadlineBase = 60 * time.Second
+	// DefaultDeadlineRate is the assumed engine throughput in events/sec
+	// when converting estimated cost to wall-clock. The serial engine does
+	// 2-4M events/sec; assuming 200k gives 10-20x headroom, so a deadline
+	// only fires on a genuinely wedged job.
+	DefaultDeadlineRate = 200_000
+	// DefaultMaxAttempts is how many times a job may panic before it is
+	// dead-lettered instead of retried.
+	DefaultMaxAttempts = 2
+)
+
+// EstimateCost returns the estimated engine events a canonical spec costs:
+// per barrier iteration each node contributes a handful of events (frame
+// send/route/deliver/firmware task), fault plans add retransmission and
+// detection traffic, and multi-switch topologies pay an all-pairs route
+// build that grows quadratically in the node count.
+func EstimateCost(s Spec) int64 {
+	nodes := int64(s.Nodes)
+	iters := int64(s.Warmup + s.Iters)
+	if nodes < 2 {
+		nodes = 2
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	perNode := int64(4) // send + route + deliver + firmware task
+	switch s.FaultPlan {
+	case PlanNone, "":
+	case PlanFlap, PlanCorrupt:
+		perNode = 6 // retransmissions, NACKs, backoff timers
+	default: // chaos, crash, partition: detection probes + gossip on top
+		perNode = 8
+	}
+	cost := nodes * iters * perNode
+	// All-pairs route build for multi-switch fabrics (BFS per source).
+	if s.Topo != "" && s.Topo != "single" {
+		cost += nodes * nodes / 4
+	}
+	return cost
+}
+
+// deadlineFor converts an estimated cost into this server's wall-clock
+// deadline: base + cost/rate. A negative DeadlineBase disables deadlines
+// (returns 0).
+func (s *Server) deadlineFor(cost int64) time.Duration {
+	if s.cfg.DeadlineBase < 0 {
+		return 0
+	}
+	return s.cfg.DeadlineBase + time.Duration(cost*int64(time.Second)/s.cfg.DeadlineRate)
+}

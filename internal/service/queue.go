@@ -3,30 +3,40 @@ package service
 // fairQueue orders pending jobs round-robin across client keys: each pop
 // takes the oldest job of the next key that has one, so a client that
 // floods the queue cannot starve the others — its jobs interleave one-for-
-// one with everyone else's. Not safe for concurrent use; the server holds
-// its own lock around every call.
+// one with everyone else's. A key whose queue stays empty for a full ring
+// pass is pruned from the ring (and the queues map), so the ring scan and
+// the memory footprint track the *active* client set, not every key ever
+// seen; a pruned key that submits again simply rejoins at the ring tail.
+// Not safe for concurrent use; the server holds its own lock around every
+// call.
 type fairQueue struct {
 	queues map[string][]*Job
-	keys   []string // round-robin ring, append-only per new key
-	next   int      // ring index the next pop starts scanning from
-	depth  int      // total queued jobs
+	keys   []string       // round-robin ring
+	idle   map[string]int // consecutive pops a ring key's queue has been empty
+	next   int            // ring index the next pop starts scanning from
+	depth  int            // total queued jobs
 }
 
 func newFairQueue() *fairQueue {
-	return &fairQueue{queues: make(map[string][]*Job)}
+	return &fairQueue{
+		queues: make(map[string][]*Job),
+		idle:   make(map[string]int),
+	}
 }
 
-// push appends a job to its client's FIFO.
+// push appends a job to its client's FIFO, (re)joining the ring if needed.
 func (q *fairQueue) push(j *Job) {
 	if _, ok := q.queues[j.Key]; !ok {
 		q.keys = append(q.keys, j.Key)
 	}
 	q.queues[j.Key] = append(q.queues[j.Key], j)
+	delete(q.idle, j.Key)
 	q.depth++
 }
 
 // pop removes and returns the next job in round-robin order, or nil when
-// the queue is empty.
+// the queue is empty. After a successful pop it ages the empty keys and
+// prunes those that have sat empty for a full ring pass.
 func (q *fairQueue) pop() *Job {
 	if q.depth == 0 {
 		return nil
@@ -42,9 +52,44 @@ func (q *fairQueue) pop() *Job {
 		q.depth--
 		// The next pop starts after this key, so siblings wait their turn.
 		q.next = (q.next + i + 1) % len(q.keys)
+		q.prune()
 		return j
 	}
 	return nil
+}
+
+// prune ages every empty ring key by one pop and drops the ones that have
+// been empty for a full ring pass (len(keys) consecutive pops — every
+// other key got a turn and the key stayed idle). The surviving ring is
+// rebuilt in cyclic order starting at next, which preserves the round-
+// robin rotation exactly: the same keys dispatch in the same order as if
+// nothing had been pruned.
+func (q *fairQueue) prune() {
+	n := len(q.keys)
+	empties := 0
+	for _, key := range q.keys {
+		if len(q.queues[key]) == 0 {
+			q.idle[key]++
+			if q.idle[key] >= n {
+				empties++
+			}
+		}
+	}
+	if empties == 0 {
+		return
+	}
+	kept := make([]string, 0, n-empties)
+	for i := 0; i < n; i++ {
+		key := q.keys[(q.next+i)%n]
+		if len(q.queues[key]) == 0 && q.idle[key] >= n {
+			delete(q.queues, key)
+			delete(q.idle, key)
+			continue
+		}
+		kept = append(kept, key)
+	}
+	q.keys = kept
+	q.next = 0
 }
 
 // lenFor returns the number of jobs queued for one client key.

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFairQueuePruning: a key whose queue sits empty for a full ring pass
+// is dropped from the ring and the queues map (the append-only-keys leak),
+// while round-robin dispatch order is preserved exactly across the prune —
+// surviving keys keep their rotation, and a pruned key that submits again
+// rejoins at the ring tail.
+func TestFairQueuePruning(t *testing.T) {
+	q := newFairQueue()
+	mk := func(key string, i int) *Job {
+		return &Job{ID: fmt.Sprintf("%s%d", key, i), Key: key}
+	}
+	popID := func(want string) {
+		t.Helper()
+		j := q.pop()
+		if j == nil {
+			t.Fatalf("pop = nil, want %s", want)
+		}
+		if j.ID != want {
+			t.Fatalf("pop = %s, want %s", j.ID, want)
+		}
+	}
+
+	// Ring A, B, C; B and C drain first and then sit idle.
+	for _, j := range []*Job{mk("A", 1), mk("A", 2), mk("B", 1), mk("C", 1), mk("A", 3), mk("A", 4)} {
+		q.push(j)
+	}
+	popID("A1")
+	popID("B1") // B now empty
+	popID("C1") // C now empty
+	popID("A2") // B has been idle for a full 3-key ring pass: pruned
+	if len(q.keys) != 2 {
+		t.Fatalf("after B's full idle pass: ring %v, want the [C A] rotation", q.keys)
+	}
+	if _, ok := q.queues["B"]; ok {
+		t.Error("pruned key B still holds a queues-map entry")
+	}
+	popID("A3") // C idle for a full (now 2-key) pass: pruned
+	if len(q.keys) != 1 || q.keys[0] != "A" {
+		t.Fatalf("ring %v, want [A]", q.keys)
+	}
+	if _, ok := q.queues["C"]; ok {
+		t.Error("pruned key C still holds a queues-map entry")
+	}
+	popID("A4") // A drains and, as the only ring key, prunes itself
+	if len(q.keys) != 0 || len(q.queues) != 0 {
+		t.Fatalf("drained queue not fully pruned: ring %v, queues %v", q.keys, q.queues)
+	}
+
+	// Pruned keys that submit again rejoin at the ring tail and interleave
+	// fairly from the next pass.
+	for _, j := range []*Job{mk("A", 5), mk("B", 2), mk("C", 2), mk("A", 6), mk("B", 3)} {
+		q.push(j)
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.ID)
+	}
+	want := "[A5 B2 C2 A6 B3]"
+	if g := fmt.Sprint(got); g != want {
+		t.Fatalf("post-prune pop order %v, want %s", got, want)
+	}
+	if q.depth != 0 {
+		t.Errorf("depth = %d after draining", q.depth)
+	}
+}
+
+// TestFairQueuePrunePreservesRotation: pruning an idle key mid-stream must
+// not disturb the rotation between the surviving keys — the next key to
+// dispatch after a prune is exactly the one that would have dispatched
+// anyway.
+func TestFairQueuePrunePreservesRotation(t *testing.T) {
+	q := newFairQueue()
+	mk := func(key string, i int) *Job {
+		return &Job{ID: fmt.Sprintf("%s%d", key, i), Key: key}
+	}
+	// D contributes one early job and goes idle; A and C keep alternating
+	// through D's pruning.
+	for _, j := range []*Job{mk("A", 1), mk("D", 1), mk("C", 1), mk("A", 2), mk("C", 2), mk("A", 3), mk("C", 3), mk("A", 4), mk("C", 4)} {
+		q.push(j)
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.ID)
+	}
+	want := "[A1 D1 C1 A2 C2 A3 C3 A4 C4]"
+	if g := fmt.Sprint(got); g != want {
+		t.Fatalf("pop order %v, want %s (rotation disturbed by pruning)", got, want)
+	}
+	if len(q.keys) > 2 {
+		t.Errorf("idle key D never pruned: ring %v", q.keys)
+	}
+}

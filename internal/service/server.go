@@ -3,10 +3,14 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"gmsim/internal/experiments"
 	"gmsim/internal/runner"
@@ -15,8 +19,14 @@ import (
 
 // Config sizes the service.
 type Config struct {
-	// CacheBytes is the result cache budget (result + trace payloads).
-	// 0 means DefaultCacheBytes; negative disables caching.
+	// Dir roots the service's persistent state: the content-addressed
+	// result store under Dir/store and the job journal at
+	// Dir/journal.jsonl. Empty means ephemeral — results live only in RAM
+	// and queued work dies with the process.
+	Dir string
+	// CacheBytes is the in-RAM result cache budget (result + trace
+	// payloads). 0 means DefaultCacheBytes; negative disables the RAM
+	// tier (the store, when configured, still serves).
 	CacheBytes int64
 	// QueueDepth bounds the total number of queued jobs; a submit beyond
 	// it is rejected with 429 and a Retry-After hint. 0 means
@@ -25,12 +35,32 @@ type Config struct {
 	// ClientDepth bounds the queued jobs of one API key, so a single
 	// client cannot own the whole queue. 0 means DefaultClientDepth.
 	ClientDepth int
+	// CostBudget bounds the summed estimated cost (see EstimateCost) of
+	// queued and running jobs, so a few huge specs cannot occupy a queue
+	// that counts slots. 0 means DefaultCostBudget; negative disables
+	// cost admission.
+	CostBudget int64
 	// Workers is the number of concurrent simulations. 0 means the runner
 	// pool default (GOMAXPROCS).
 	Workers int
 	// RetryAfterSeconds is the Retry-After hint on queue-full rejections.
 	// 0 means 1.
 	RetryAfterSeconds int
+	// DeadlineBase and DeadlineRate set per-job deadlines: a job may run
+	// for DeadlineBase plus its estimated cost divided by DeadlineRate
+	// (events/sec) before it is abandoned and dead-lettered. 0 means
+	// DefaultDeadlineBase / DefaultDeadlineRate; a negative DeadlineBase
+	// disables deadlines.
+	DeadlineBase time.Duration
+	DeadlineRate int64
+	// MaxAttempts is how many times a job may panic before dead-lettering
+	// (a panicking spec is retried MaxAttempts-1 times). 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+
+	// exec replaces the simulation executor in tests (deadline, panic and
+	// admission tests need controllable job behavior, not real runs).
+	exec func(Spec) (Outcome, error)
 }
 
 // Service defaults.
@@ -42,31 +72,38 @@ const (
 
 // maxJobs bounds the completed-job history kept for GET /v1/runs/{id};
 // beyond it the oldest finished jobs are forgotten (their results usually
-// stay reachable by hash via the cache).
+// stay reachable by hash via the cache and store).
 const maxJobs = 4096
+
+// maxDeadLetters bounds the dead-letter list; beyond it the oldest entries
+// are dropped.
+const maxDeadLetters = 256
 
 // Job states as served in status JSON.
 const (
-	JobQueued  = "queued"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobQueued       = "queued"
+	JobRunning      = "running"
+	JobDone         = "done"
+	JobFailed       = "failed"
+	JobDeadLettered = "deadletter"
 )
 
-// Job is one submitted simulation. Fields other than ID/Key/Spec/Hash are
-// guarded by the server mutex until done closes, after which they are
+// Job is one submitted simulation. Fields other than ID/Key/Spec/Hash/Cost
+// are guarded by the server mutex until done closes, after which they are
 // immutable.
 type Job struct {
 	ID   string
 	Key  string
 	Spec Spec
 	Hash string
+	Cost int64
 
 	status    string
 	errMsg    string
 	entry     Entry
 	hasEntry  bool
 	coalesced int
+	attempts  int
 	done      chan struct{}
 }
 
@@ -84,14 +121,31 @@ type JobStatus struct {
 	Result    json.RawMessage `json:"result,omitempty"`
 }
 
-// Server is the simulation service: a content-addressed result cache in
-// front of a fair bounded job queue over a persistent runner pool.
-// Create with NewServer, mount Handler on an http.Server, and Drain on
-// shutdown.
+// DeadLetter is one dead-lettered job as served by GET /v1/deadletter: a
+// job that exceeded its deadline or panicked MaxAttempts times, parked so
+// it cannot poison a worker forever.
+type DeadLetter struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Hash     string `json:"hash"`
+	Spec     Spec   `json:"spec"`
+	Reason   string `json:"reason"`
+	Attempts int    `json:"attempts"`
+}
+
+// Server is the simulation service: a content-addressed result cache (RAM
+// over an optional crash-safe disk store) in front of a fair bounded job
+// queue over a persistent runner pool, journaling accepted work so a
+// restart finishes what a crash interrupted.
+// Create with NewServer, mount Handler on an http.Server, Drain on
+// shutdown and Close once drained.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	reg   *stats.Registry
+	cfg     Config
+	cache   *Cache
+	store   *Store   // nil when Config.Dir is empty
+	journal *Journal // nil when Config.Dir is empty
+	reg     *stats.Registry
+	exec    func(Spec) (Outcome, error)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -99,16 +153,21 @@ type Server struct {
 	jobs     map[string]*Job
 	jobOrder []string
 	byHash   map[string]*Job
-	running  int
-	draining bool
-	seq      int
+	dead     []DeadLetter
+	// outstandingCost sums the estimated cost of queued and running jobs —
+	// the quantity cost admission bounds.
+	outstandingCost int64
+	running         int
+	draining        bool
+	seq             int
 
 	pool        *runner.Pool
 	workersDone chan struct{}
 }
 
-// NewServer builds the service and starts its workers.
-func NewServer(cfg Config) *Server {
+// NewServer builds the service, replays the journal when persistence is
+// configured, and starts the workers.
+func NewServer(cfg Config) (*Server, error) {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = DefaultCacheBytes
 	}
@@ -118,23 +177,51 @@ func NewServer(cfg Config) *Server {
 	if cfg.ClientDepth == 0 {
 		cfg.ClientDepth = DefaultClientDepth
 	}
+	if cfg.CostBudget == 0 {
+		cfg.CostBudget = DefaultCostBudget
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runner.Default()
 	}
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 1
 	}
+	if cfg.DeadlineBase == 0 {
+		cfg.DeadlineBase = DefaultDeadlineBase
+	}
+	if cfg.DeadlineRate <= 0 {
+		cfg.DeadlineRate = DefaultDeadlineRate
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
 	s := &Server{
 		cfg:         cfg,
 		cache:       NewCache(cfg.CacheBytes),
 		reg:         stats.NewRegistry(),
+		exec:        safeExecute,
 		queue:       newFairQueue(),
 		jobs:        make(map[string]*Job),
 		byHash:      make(map[string]*Job),
 		pool:        runner.NewPool(cfg.Workers),
 		workersDone: make(chan struct{}),
 	}
+	if cfg.exec != nil {
+		s.exec = cfg.exec
+	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Dir != "" {
+		store, err := OpenStore(filepath.Join(cfg.Dir, "store"))
+		if err != nil {
+			return nil, err
+		}
+		journal, pending, err := OpenJournal(filepath.Join(cfg.Dir, "journal.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.journal = store, journal
+		s.replay(pending)
+	}
 	// The pool's workers all enter the dispatch loop once and stay there
 	// until drain: the long-lived service owns one persistent pool instead
 	// of forking goroutines per job.
@@ -143,7 +230,92 @@ func NewServer(cfg Config) *Server {
 		defer s.pool.Close()
 		s.pool.Each(func(int) { s.workerLoop() })
 	}()
-	return s
+	return s, nil
+}
+
+// replay turns the journal's pending accepts back into live jobs: one whose
+// result already reached the store (the crash landed between the store
+// write and the journal's done record) is served from disk; the rest are
+// re-enqueued with their original IDs and keys. Runs before the workers
+// start, so no locking.
+func (s *Server) replay(pending []PendingJob) {
+	for _, p := range pending {
+		if n := parseSeq(p.ID); n > s.seq {
+			s.seq = n
+		}
+		if _, dup := s.jobs[p.ID]; dup {
+			continue
+		}
+		if entry, ok := s.lookup(p.Hash); ok {
+			done := make(chan struct{})
+			close(done)
+			j := &Job{
+				ID: p.ID, Key: p.Key, Spec: p.Spec, Hash: p.Hash,
+				status: JobDone, entry: entry, hasEntry: true, done: done,
+			}
+			s.jobs[p.ID] = j
+			s.jobOrder = append(s.jobOrder, p.ID)
+			_ = s.journal.Done(p.ID)
+			s.reg.Add("service.journal.replay_served", 1)
+			continue
+		}
+		if prev, ok := s.byHash[p.Hash]; ok {
+			// Two pending accepts for one hash cannot happen in a single
+			// server lifetime (submits coalesce), but journals can overlap
+			// across crashes; fold the duplicate onto the live job.
+			prev.coalesced++
+			_ = s.journal.Done(p.ID)
+			continue
+		}
+		j := &Job{
+			ID: p.ID, Key: p.Key, Spec: p.Spec, Hash: p.Hash,
+			Cost:   EstimateCost(p.Spec),
+			status: JobQueued,
+			done:   make(chan struct{}),
+		}
+		s.jobs[p.ID] = j
+		s.jobOrder = append(s.jobOrder, p.ID)
+		s.byHash[p.Hash] = j
+		s.outstandingCost += j.Cost
+		s.queue.push(j)
+		s.reg.Add("service.journal.replayed", 1)
+	}
+}
+
+// parseSeq extracts the accept sequence number from a job ID ("j%06d-…").
+func parseSeq(id string) int {
+	rest, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0
+	}
+	num, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// lookup is the read-through cache: RAM first, then the verified disk
+// store (filling RAM on a disk hit). A store miss — absent, or quarantined
+// as corrupt — means the caller re-simulates.
+func (s *Server) lookup(hash string) (Entry, bool) {
+	if entry, ok := s.cache.Get(hash); ok {
+		return entry, true
+	}
+	if s.store == nil {
+		return Entry{}, false
+	}
+	entry, ok := s.store.Get(hash)
+	if !ok {
+		return Entry{}, false
+	}
+	s.cache.Put(hash, entry)
+	s.reg.Add("service.cache.disk_hits", 1)
+	return entry, true
 }
 
 // workerLoop pulls jobs until the queue is empty and the server draining.
@@ -164,6 +336,7 @@ func (s *Server) nextJob() *Job {
 	for {
 		if j := s.queue.pop(); j != nil {
 			j.status = JobRunning
+			j.attempts++
 			s.running++
 			return j
 		}
@@ -174,29 +347,64 @@ func (s *Server) nextJob() *Job {
 	}
 }
 
-// runJob executes one job and publishes its outcome to the job record,
-// the cache and the metrics registry.
+// runJob executes one job under its deadline and publishes the outcome to
+// the job record, the cache, the store, the journal and the metrics
+// registry. A panicking job is retried up to MaxAttempts; a job that
+// panics out of retries or outlives its deadline is dead-lettered.
 func (s *Server) runJob(j *Job) {
-	out, err := safeExecute(j.Spec)
-	var entry Entry
-	if err == nil {
-		var resultJSON []byte
-		resultJSON, err = json.Marshal(out.Result)
-		if err == nil {
-			entry = Entry{Result: resultJSON, Trace: out.Trace}
-		}
+	type execResult struct {
+		out Outcome
+		err error
 	}
-	if err == nil {
-		s.cache.Put(j.Hash, entry)
-		if out.Metrics != nil {
-			s.reg.AddAll(out.Metrics)
+	ch := make(chan execResult, 1)
+	go func() {
+		out, err := safeCall(s.exec, j.Spec)
+		ch <- execResult{out, err}
+	}()
+
+	var r execResult
+	if deadline := s.deadlineFor(j.Cost); deadline > 0 {
+		timer := time.NewTimer(deadline)
+		select {
+		case r = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			// The worker abandons the run (a goroutine cannot be killed) and
+			// moves on; if the stray run ever finishes, its result is still
+			// banked — determinism makes it valid forever.
+			go func() {
+				if late := <-ch; late.err == nil {
+					s.publishEntry(j.Hash, late.out)
+					s.reg.Add("service.deadline_late_results", 1)
+				}
+			}()
+			s.deadLetter(j, fmt.Sprintf("deadline %v exceeded (estimated cost %d events)", deadline, j.Cost))
+			return
 		}
-		s.reg.Add("service.runs", 1)
+	} else {
+		r = <-ch
+	}
+
+	var pe panicError
+	if errors.As(r.err, &pe) {
+		if j.attempts < s.cfg.MaxAttempts {
+			s.requeue(j)
+			return
+		}
+		s.deadLetter(j, fmt.Sprintf("panicked %d times: %v", j.attempts, r.err))
+		return
+	}
+
+	var entry Entry
+	err := r.err
+	if err == nil {
+		entry, err = s.publishEntry(j.Hash, r.out)
 	}
 
 	s.mu.Lock()
 	s.running--
 	delete(s.byHash, j.Hash)
+	s.outstandingCost -= j.Cost
 	if err != nil {
 		j.status = JobFailed
 		j.errMsg = err.Error()
@@ -208,20 +416,91 @@ func (s *Server) runJob(j *Job) {
 		s.reg.Add("service.jobs_done", 1)
 	}
 	s.mu.Unlock()
+	if s.journal != nil {
+		if err != nil {
+			_ = s.journal.Failed(j.ID, err.Error())
+		} else {
+			_ = s.journal.Done(j.ID)
+		}
+	}
 	close(j.done)
 }
 
-// safeExecute runs Execute with simulator panics (deadlocked model
-// programs, invalid late-bound configs) converted to job errors, so one
+// publishEntry banks a successful outcome: RAM cache, disk store (before
+// the journal's done record — done must imply stored), metrics.
+func (s *Server) publishEntry(hash string, out Outcome) (Entry, error) {
+	resultJSON, err := json.Marshal(out.Result)
+	if err != nil {
+		return Entry{}, err
+	}
+	entry := Entry{Result: resultJSON, Trace: out.Trace}
+	s.cache.Put(hash, entry)
+	if s.store != nil {
+		_ = s.store.Put(hash, entry)
+	}
+	if out.Metrics != nil {
+		s.reg.AddAll(out.Metrics)
+	}
+	s.reg.Add("service.runs", 1)
+	return entry, nil
+}
+
+// requeue puts a panicked job back in line for another attempt.
+func (s *Server) requeue(j *Job) {
+	s.mu.Lock()
+	s.running--
+	j.status = JobQueued
+	s.queue.push(j)
+	s.reg.Add("service.jobs_retried", 1)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// deadLetter parks a job on the dead-letter list and completes it with an
+// error: sync waiters get the reason, replay will not resurrect it, and
+// the worker slot is free again.
+func (s *Server) deadLetter(j *Job, reason string) {
+	s.mu.Lock()
+	s.running--
+	delete(s.byHash, j.Hash)
+	s.outstandingCost -= j.Cost
+	j.status = JobDeadLettered
+	j.errMsg = reason
+	s.dead = append(s.dead, DeadLetter{
+		ID: j.ID, Key: j.Key, Hash: j.Hash, Spec: j.Spec,
+		Reason: reason, Attempts: j.attempts,
+	})
+	if len(s.dead) > maxDeadLetters {
+		s.dead = s.dead[len(s.dead)-maxDeadLetters:]
+	}
+	s.reg.Add("service.jobs_deadlettered", 1)
+	s.mu.Unlock()
+	if s.journal != nil {
+		_ = s.journal.DeadLetter(j.ID, reason)
+	}
+	close(j.done)
+}
+
+// safeCall runs the executor with panics (deadlocked model programs,
+// invalid late-bound configs) converted to retryable job errors, so one
 // bad spec cannot take a service worker down.
-func safeExecute(spec Spec) (out Outcome, err error) {
+func safeCall(exec func(Spec) (Outcome, error), spec Spec) (out Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("simulation panicked: %v", r)
+			err = panicError{r}
 		}
 	}()
-	return Execute(spec)
+	return exec(spec)
 }
+
+// safeExecute is the default executor: Execute with panic recovery.
+func safeExecute(spec Spec) (Outcome, error) { return safeCall(Execute, spec) }
+
+// panicError marks an executor panic — the only error class runJob
+// retries.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return fmt.Sprintf("simulation panicked: %v", p.v) }
 
 // BeginDrain stops job intake: subsequent submissions get 503, queued and
 // running jobs keep going.
@@ -249,8 +528,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.WaitDrained(ctx)
 }
 
+// Close releases the persistent state (compacting the journal — after a
+// clean drain it compacts to empty). Call after a successful Drain.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
 // Cache exposes the result cache (tests and cmd/simd metrics).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Store exposes the persistent store; nil when the server is ephemeral.
+func (s *Server) Store() *Store { return s.store }
 
 // Registry exposes the service metrics registry.
 func (s *Server) Registry() *stats.Registry { return s.reg }
@@ -259,6 +550,7 @@ func (s *Server) Registry() *stats.Registry { return s.reg }
 // identical pending job when one exists. It returns the job, or an error
 // with an HTTP status when the submission is rejected.
 func (s *Server) submit(spec Spec, hash, key string) (*Job, int, error) {
+	cost := EstimateCost(spec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -277,18 +569,32 @@ func (s *Server) submit(spec Spec, hash, key string) (*Job, int, error) {
 		s.reg.Add("service.rejected", 1)
 		return nil, http.StatusTooManyRequests, fmt.Errorf("client %q has %d queued jobs", key, s.queue.lenFor(key))
 	}
+	if s.cfg.CostBudget > 0 && s.outstandingCost+cost > s.cfg.CostBudget {
+		s.reg.Add("service.rejected_cost", 1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("estimated cost %d would exceed the outstanding budget (%d of %d used)",
+				cost, s.outstandingCost, s.cfg.CostBudget)
+	}
 	s.seq++
 	j := &Job{
 		ID:     fmt.Sprintf("j%06d-%s", s.seq, hash[:8]),
 		Key:    key,
 		Spec:   spec,
 		Hash:   hash,
+		Cost:   cost,
 		status: JobQueued,
 		done:   make(chan struct{}),
+	}
+	if s.journal != nil {
+		// The write-ahead point: the job is durable before it is visible.
+		if err := s.journal.Accept(PendingJob{ID: j.ID, Key: key, Hash: hash, Spec: spec}); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
 	}
 	s.jobs[j.ID] = j
 	s.jobOrder = append(s.jobOrder, j.ID)
 	s.byHash[hash] = j
+	s.outstandingCost += cost
 	s.queue.push(j)
 	s.pruneJobsLocked()
 	s.cond.Signal()
@@ -304,7 +610,7 @@ func (s *Server) pruneJobsLocked() {
 	excess := len(s.jobOrder) - maxJobs
 	for _, id := range s.jobOrder {
 		j := s.jobs[id]
-		if excess > 0 && j != nil && (j.status == JobDone || j.status == JobFailed) {
+		if excess > 0 && j != nil && (j.status == JobDone || j.status == JobFailed || j.status == JobDeadLettered) {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -340,6 +646,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /v1/results/{hash}/trace", s.handleResultTrace)
+	mux.HandleFunc("GET /v1/deadletter", s.handleDeadLetter)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -381,8 +688,8 @@ func writeResult(w http.ResponseWriter, entry Entry, cached bool, jobID string) 
 }
 
 // handleSubmit is POST /v1/runs: validate, canonicalize and hash the spec;
-// serve a cache hit immediately (a hit never re-simulates); otherwise
-// enqueue and either wait (sync) or return the job ID (?async=1).
+// serve a cache or store hit immediately (a hit never re-simulates);
+// otherwise enqueue and either wait (sync) or return the job ID (?async=1).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -403,7 +710,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	async := r.URL.Query().Get("async") == "1"
 
-	if entry, ok := s.cache.Get(hash); ok {
+	if entry, ok := s.lookup(hash); ok {
 		writeResult(w, entry, true, "")
 		return
 	}
@@ -429,7 +736,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// cache for the retry.
 		return
 	}
-	if j.status == JobFailed {
+	if j.status == JobFailed || j.status == JobDeadLettered {
 		writeError(w, http.StatusInternalServerError, "%s", j.errMsg)
 		return
 	}
@@ -479,10 +786,10 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(entry.Trace)
 }
 
-// handleResult is GET /v1/results/{hash}: a cached result by content
-// address, independent of any job.
+// handleResult is GET /v1/results/{hash}: a cached or stored result by
+// content address, independent of any job.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.cache.Get(r.PathValue("hash"))
+	entry, ok := s.lookup(r.PathValue("hash"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no cached result for %q", r.PathValue("hash"))
 		return
@@ -492,7 +799,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleResultTrace is GET /v1/results/{hash}/trace.
 func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
-	entry, ok := s.cache.Get(r.PathValue("hash"))
+	entry, ok := s.lookup(r.PathValue("hash"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no cached result for %q", r.PathValue("hash"))
 		return
@@ -505,7 +812,18 @@ func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(entry.Trace)
 }
 
+// handleDeadLetter is GET /v1/deadletter: jobs parked after exceeding
+// their deadline or exhausting their panic retries, newest last.
+func (s *Server) handleDeadLetter(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	letters := make([]DeadLetter, len(s.dead))
+	copy(letters, s.dead)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"deadletter": letters})
+}
+
 // scenarioCacheKey addresses the chaos fleet batch in the result cache.
+// Not a content hash, so it stays in the RAM tier only.
 const scenarioCacheKey = "scenarios/fleet/v1"
 
 // ScenarioCell is one fleet cell's outcome as served by /v1/scenarios.
@@ -569,9 +887,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Set("service.cache_evictions", evictions)
 	snap.Set("service.cache_entries", int64(s.cache.Len()))
 	snap.Set("service.cache_bytes", s.cache.Bytes())
+	if s.store != nil {
+		sh, sm, sw, sq := s.store.Stats()
+		snap.Set("service.store.hits", sh)
+		snap.Set("service.store.misses", sm)
+		snap.Set("service.store.writes", sw)
+		snap.Set("service.store.quarantined", sq)
+	}
+	if s.journal != nil {
+		snap.Set("service.journal.torn", s.journal.Torn())
+	}
 	s.mu.Lock()
 	snap.Set("service.queue_depth", int64(s.queue.depth))
 	snap.Set("service.jobs_running", int64(s.running))
+	snap.Set("service.cost_outstanding", s.outstandingCost)
+	snap.Set("service.deadletter_size", int64(len(s.dead)))
 	if s.draining {
 		snap.Set("service.draining", 1)
 	} else {

@@ -13,6 +13,16 @@ import (
 	"time"
 )
 
+// newTestServer builds a server, failing the test on config errors.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // post submits a spec and returns the response.
 func post(t *testing.T, client *http.Client, url string, spec Spec, key string) (*http.Response, []byte) {
 	t.Helper()
@@ -51,7 +61,7 @@ func counter(t *testing.T, s *Server, name string) int64 {
 // re-invoking the simulator; drain finishes the queue and refuses new
 // work.
 func TestServerEndToEnd(t *testing.T) {
-	srv := NewServer(Config{Workers: 2, QueueDepth: 32, ClientDepth: 32})
+	srv := newTestServer(t, Config{Workers: 2, QueueDepth: 32, ClientDepth: 32})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -134,7 +144,7 @@ func TestServerEndToEnd(t *testing.T) {
 // TestServerAsyncAndTrace: the async submit/poll flow, the job trace
 // endpoint, and result retrieval by content address.
 func TestServerAsyncAndTrace(t *testing.T) {
-	srv := NewServer(Config{Workers: 1})
+	srv := newTestServer(t, Config{Workers: 1})
 	defer srv.Drain(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -210,7 +220,7 @@ func TestServerAsyncAndTrace(t *testing.T) {
 // full per-client queue likewise, and duplicate in-flight specs coalesce
 // onto one job.
 func TestServerBackpressure(t *testing.T) {
-	srv := NewServer(Config{Workers: 1, QueueDepth: 2, ClientDepth: 1, RetryAfterSeconds: 7})
+	srv := newTestServer(t, Config{Workers: 1, QueueDepth: 2, ClientDepth: 1, RetryAfterSeconds: 7})
 	defer srv.Drain(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Store is the persistent tier of the result cache: one file per content
+// address under <dir>/<hash[:2]>/<hash>, written atomically (tmp + rename)
+// so a crash never leaves a partial entry at a final path. Because every
+// simulation is bit-deterministic, stored entries never go stale — the
+// store is append-mostly and survives any number of restarts.
+//
+// Reads trust nothing: the entry frame is CRC-checked, and the result
+// payload's embedded spec is re-canonicalized and re-hashed to prove it
+// belongs at its content address. A file that fails any check (truncated,
+// bit-flipped, wrong hash) is quarantined under <dir>/quarantine/ and
+// reported as a miss, so the caller transparently re-simulates; the bad
+// bytes are kept for postmortems instead of being served or deleted.
+type Store struct {
+	dir string
+
+	mu                                sync.Mutex
+	hits, misses, writes, quarantined int64
+}
+
+// storeMagic heads every entry file; a version bump means a new format.
+const storeMagic = "gmstore1"
+
+// maxStoreEntry bounds a decodable entry payload (result + trace). The
+// biggest real entries are multi-MiB Perfetto traces; 1 GiB is far above
+// any simulation output and keeps a corrupt length field from driving a
+// giant allocation.
+const maxStoreEntry = 1 << 30
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// validHash reports whether key is a hex SHA-256 — the only keys the store
+// accepts. Synthetic cache keys (the scenario-fleet batch) stay RAM-only.
+func validHash(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *Store) path(hash string) string {
+	return filepath.Join(st.dir, hash[:2], hash)
+}
+
+// encodeEntry frames an entry for disk: a fixed-order text header binding
+// the content address and CRC-32s of both payloads, then the raw payloads.
+//
+//	gmstore1 <hash> <len(result)> <len(trace)> <crc(result)> <crc(trace)>\n
+//	<result bytes><trace bytes>
+func encodeEntry(hash string, e Entry) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s %d %d %08x %08x\n", storeMagic, hash,
+		len(e.Result), len(e.Trace),
+		crc32.ChecksumIEEE(e.Result), crc32.ChecksumIEEE(e.Trace))
+	b.Write(e.Result)
+	b.Write(e.Trace)
+	return b.Bytes()
+}
+
+// decodeEntry parses and checksums an entry file. It returns the content
+// address the file claims plus the payloads, or an error for any framing,
+// length or CRC violation. It never panics and never allocates beyond the
+// input's own length (the header's lengths must account for exactly the
+// bytes present). Whether the payload truly belongs at the claimed hash is
+// the caller's check (see Store.Get) — the spec re-hash needs the codec.
+func decodeEntry(data []byte) (hash string, e Entry, err error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return "", Entry{}, fmt.Errorf("store entry: no header line")
+	}
+	fields := bytes.Fields(data[:nl])
+	if len(fields) != 6 {
+		return "", Entry{}, fmt.Errorf("store entry: header has %d fields, want 6", len(fields))
+	}
+	if string(fields[0]) != storeMagic {
+		return "", Entry{}, fmt.Errorf("store entry: bad magic %q", fields[0])
+	}
+	hash = string(fields[1])
+	if !validHash(hash) {
+		return "", Entry{}, fmt.Errorf("store entry: malformed content address %q", hash)
+	}
+	resLen, err := strconv.ParseUint(string(fields[2]), 10, 31)
+	if err != nil {
+		return "", Entry{}, fmt.Errorf("store entry: result length: %w", err)
+	}
+	trcLen, err := strconv.ParseUint(string(fields[3]), 10, 31)
+	if err != nil {
+		return "", Entry{}, fmt.Errorf("store entry: trace length: %w", err)
+	}
+	if resLen+trcLen > maxStoreEntry {
+		return "", Entry{}, fmt.Errorf("store entry: %d payload bytes over the %d cap", resLen+trcLen, maxStoreEntry)
+	}
+	resCRC, err := strconv.ParseUint(string(fields[4]), 16, 32)
+	if err != nil {
+		return "", Entry{}, fmt.Errorf("store entry: result crc: %w", err)
+	}
+	trcCRC, err := strconv.ParseUint(string(fields[5]), 16, 32)
+	if err != nil {
+		return "", Entry{}, fmt.Errorf("store entry: trace crc: %w", err)
+	}
+	// The encoder emits exactly one header form; accept nothing looser.
+	// Without this, a CRC field like "0" (vs the canonical "00000000") or
+	// doubled spaces would decode cleanly, and two distinct byte strings
+	// would map to one entry — re-encoding must reproduce the input.
+	canonical := fmt.Sprintf("%s %s %d %d %08x %08x", storeMagic, hash, resLen, trcLen, resCRC, trcCRC)
+	if string(data[:nl]) != canonical {
+		return "", Entry{}, fmt.Errorf("store entry: non-canonical header %q", data[:nl])
+	}
+	payload := data[nl+1:]
+	if uint64(len(payload)) != resLen+trcLen {
+		return "", Entry{}, fmt.Errorf("store entry: %d payload bytes, header claims %d", len(payload), resLen+trcLen)
+	}
+	e.Result = payload[:resLen:resLen]
+	e.Trace = payload[resLen:]
+	if got := crc32.ChecksumIEEE(e.Result); got != uint32(resCRC) {
+		return "", Entry{}, fmt.Errorf("store entry: result crc %08x, header claims %08x", got, resCRC)
+	}
+	if got := crc32.ChecksumIEEE(e.Trace); got != uint32(trcCRC) {
+		return "", Entry{}, fmt.Errorf("store entry: trace crc %08x, header claims %08x", got, trcCRC)
+	}
+	return hash, e, nil
+}
+
+// verifyEntry proves a decoded entry belongs at hash: the frame must claim
+// the same address, and the result's embedded canonical spec must re-hash
+// to it. A CRC-clean file at the wrong path (or with a doctored spec)
+// fails here.
+func verifyEntry(hash, claimed string, e Entry) error {
+	if claimed != hash {
+		return fmt.Errorf("store entry: file at %s claims hash %s", hash, claimed)
+	}
+	var res struct {
+		Spec Spec `json:"spec"`
+	}
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		return fmt.Errorf("store entry: result JSON: %w", err)
+	}
+	specHash, err := res.Spec.Hash()
+	if err != nil {
+		return fmt.Errorf("store entry: embedded spec: %w", err)
+	}
+	if specHash != hash {
+		return fmt.Errorf("store entry: embedded spec hashes to %s, not %s", specHash, hash)
+	}
+	return nil
+}
+
+// Put persists the entry for hash atomically: write to a temp file in the
+// same directory, fsync, rename over the final path. Non-content-addressed
+// keys are ignored (nil error) — they are RAM-only by design.
+func (st *Store) Put(hash string, e Entry) error {
+	if !validHash(hash) {
+		return nil
+	}
+	final := st.path(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeEntry(hash, e)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	st.mu.Lock()
+	st.writes++
+	st.mu.Unlock()
+	return nil
+}
+
+// Get returns the verified entry for hash, or a miss. A file that fails
+// decoding or verification is quarantined and reported as a miss so the
+// caller re-simulates; the store never serves bytes it cannot prove.
+func (st *Store) Get(hash string) (Entry, bool) {
+	if !validHash(hash) {
+		return Entry{}, false
+	}
+	data, err := os.ReadFile(st.path(hash))
+	if err != nil {
+		st.mu.Lock()
+		st.misses++
+		st.mu.Unlock()
+		return Entry{}, false
+	}
+	claimed, e, err := decodeEntry(data)
+	if err == nil {
+		err = verifyEntry(hash, claimed, e)
+	}
+	if err != nil {
+		st.quarantine(hash, err)
+		return Entry{}, false
+	}
+	st.mu.Lock()
+	st.hits++
+	st.mu.Unlock()
+	return e, true
+}
+
+// Has reports whether a verified entry exists for hash (a full Get, so a
+// corrupt file is quarantined here too).
+func (st *Store) Has(hash string) bool {
+	_, ok := st.Get(hash)
+	return ok
+}
+
+// quarantine moves a failed entry file aside and counts it.
+func (st *Store) quarantine(hash string, cause error) {
+	qdir := filepath.Join(st.dir, "quarantine")
+	_ = os.MkdirAll(qdir, 0o755)
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", hash, time.Now().UnixNano()))
+	_ = os.Rename(st.path(hash), dst)
+	st.mu.Lock()
+	st.quarantined++
+	st.misses++
+	st.mu.Unlock()
+}
+
+// Stats returns the lifetime hit/miss/write/quarantine counters.
+func (st *Store) Stats() (hits, misses, writes, quarantined int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hits, st.misses, st.writes, st.quarantined
+}
+
+// Len walks the store and returns the number of entry files (excluding
+// quarantine). It is O(entries); metrics use, not hot path.
+func (st *Store) Len() int {
+	n := 0
+	_ = filepath.WalkDir(st.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if validHash(d.Name()) && filepath.Base(filepath.Dir(path)) != "quarantine" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
