@@ -30,25 +30,27 @@ race-partition:
 		./internal/sim ./internal/runner ./internal/cluster ./internal/network ./internal/topo
 
 # Short fuzzing pass over the wire codec, the duplicate-suppression window,
-# the fault-plan validator and the result-store entry codec (go's fuzzer
-# allows one target per invocation). Checked-in seed corpora live under
-# each package's testdata/fuzz/.
+# the fault-plan validator, the result-store entry codec and the algebraic
+# router's spec space (go's fuzzer allows one target per invocation).
+# Checked-in seed corpora live under each package's testdata/fuzz/.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=^FuzzFrameDecode$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzSeqWindow$$ -fuzztime=$(FUZZTIME) ./internal/mcp
 	$(GO) test -run=^$$ -fuzz=^FuzzPlanValidate$$ -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run=^$$ -fuzz=^FuzzStoreEntryDecode$$ -fuzztime=$(FUZZTIME) ./internal/service
+	$(GO) test -run=^$$ -fuzz=^FuzzAlgRouteSpec$$ -fuzztime=$(FUZZTIME) ./internal/topo
 
 # Coverage with per-package floors. The observability layer (internal/trace),
-# the analytic model (internal/model) and the fault injector (internal/fault)
-# are the packages most likely to rot silently — their statement coverage
-# must stay at or above COVER_FLOOR.
+# the analytic model (internal/model), the fault injector (internal/fault)
+# and the topology/routing layer (internal/topo, now carrying the algebraic
+# router) are the packages most likely to rot silently — their statement
+# coverage must stay at or above COVER_FLOOR.
 COVER_FLOOR ?= 80.0
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=count ./...
 	$(GO) tool cover -func=coverage.out | tail -1
-	@for pkg in gmsim/internal/trace gmsim/internal/model gmsim/internal/fault; do \
+	@for pkg in gmsim/internal/trace gmsim/internal/model gmsim/internal/fault gmsim/internal/topo; do \
 		pct="$$(awk -v p="$$pkg/" \
 			'index($$1, p) == 1 { tot += $$2; if ($$3 > 0) cov += $$2 } \
 			END { printf "%.1f", tot ? 100 * cov / tot : 0 }' coverage.out)"; \

@@ -9,6 +9,7 @@
 //	barrierbench -fig flap [-nodes N] [-dim D] [-outage US]
 //	barrierbench -fig crash [-faultplan crash|partition] [-nodes N] [-dim D]
 //	barrierbench -fig topo [-topo single,star,clos3] [-sizes 16,...,1024] [-radix R]
+//	barrierbench -fig topo -tuned [-sizes 1024,8192,16384] [-radix 32]
 //	barrierbench -fig contend [-radix R] [-bytes B]
 //	barrierbench -dumptopo FILE [-topo KIND] [-nodes N] [-radix R]
 //	barrierbench -metrics [-nodes N] [-dim D] [-iters N]
@@ -19,7 +20,10 @@
 // 2.2 decomposition of the timed window.
 //
 // GB rows report the minimum latency over all tree dimensions 1..N-1 and
-// the dimension that achieved it, matching the paper's methodology.
+// the dimension that achieved it, matching the paper's methodology. With
+// -fig topo, -tuned swaps the exhaustive dimension sweep for the
+// closed-form steady-state model (internal/model), which is what makes
+// 8192- and 16384-node rows practical to measure.
 // Independent measurements fan out over -parallel workers (default
 // GOMAXPROCS); results are bit-identical at any worker count.
 //
@@ -74,6 +78,7 @@ func main() {
 	sf := service.BindSpecFlags(flag.CommandLine)
 	outage := flag.Float64("outage", 200, "link outage duration in microseconds for -fig flap")
 	sizesFlag := flag.String("sizes", "16,32,64,128,256,512,1024", "comma-separated node counts for -fig topo")
+	tuned := flag.Bool("tuned", false, "for -fig topo: pick GB dims from the steady-state model instead of sweeping")
 	bytesFlag := flag.Int("bytes", 4096, "message size for -fig contend streams")
 	dumptopo := flag.String("dumptopo", "", "write the -topo/-nodes/-radix fabric as Graphviz DOT to this file ('-' for stdout) and exit")
 	metrics := flag.Bool("metrics", false, "run observed -nodes measurements and dump the metrics registry, then exit")
@@ -152,7 +157,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -sizes: %v\n", err)
 			os.Exit(2)
 		}
-		printTopoScale(kinds, sizes, sf.Radix, *iters, sf.Partitions)
+		printTopoScale(kinds, sizes, sf.Radix, *iters, sf.Partitions, *tuned)
 	case "contend":
 		printContention(sf.Radix, *bytesFlag, *iters)
 	case "all":
@@ -288,14 +293,21 @@ func writeDOT(path string, kind topo.Kind, nodes, radix int) error {
 	return os.WriteFile(path, []byte(dot), 0o644)
 }
 
-func printTopoScale(kinds []topo.Kind, sizes []int, radix, iters, partitions int) {
-	rows := experiments.TopoScaleSweepPartitioned(kinds, sizes, radix, iters, nil, partitions)
+func printTopoScale(kinds []topo.Kind, sizes []int, radix, iters, partitions int, tuned bool) {
+	var rows []experiments.TopoScaleRow
+	dimNote := "best dim"
+	if tuned {
+		rows = experiments.TopoScaleSweepAuto(kinds, sizes, radix, iters, partitions)
+		dimNote = "model-tuned dim"
+	} else {
+		rows = experiments.TopoScaleSweepPartitioned(kinds, sizes, radix, iters, nil, partitions)
+	}
 	engine := ""
 	if partitions > 1 {
 		engine = fmt.Sprintf(", %d-partition engine where the fabric splits", partitions)
 	}
 	t := stats.NewTable(
-		fmt.Sprintf("Barrier latency across switch topologies, LANai 4.3, radix-%d switches%s (us; GB topology-aware, best dim)", radix, engine),
+		fmt.Sprintf("Barrier latency across switch topologies, LANai 4.3, radix-%d switches%s (us; GB topology-aware, %s)", radix, engine, dimNote),
 		"Topology", "Nodes", "Switches", "Diam", "NIC-PE", "Host-PE", "NIC-GB", "Host-GB",
 		"NIC dim", "Host dim", "PE factor", "GB factor")
 	have := make(map[[2]int]bool, len(rows))

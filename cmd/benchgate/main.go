@@ -4,10 +4,13 @@
 // the PR head's to keep the engine's perf trajectory monotone.
 //
 // Gated metrics are all "lower is better" nanosecond costs:
-// engine.ns_per_event, engine.ns_per_schedule_pop_depth256, and
-// engine.ns_per_cancel_depth256. Wall-clock figure timings are reported
-// but not gated — they depend on machine load and core count far more
-// than on the code.
+// engine.ns_per_event, engine.ns_per_schedule_pop_depth256,
+// engine.ns_per_cancel_depth256, and algroute.ns_per_route_alg. The head
+// report must additionally hold algroute.speedup — algebraic route
+// construction vs per-source BFS on the 8192-node fat-tree — above an
+// absolute floor of 50x, enforcing the O(1)-per-route claim regardless of
+// baseline. Wall-clock figure timings are reported but not gated — they
+// depend on machine load and core count far more than on the code.
 //
 // Usage:
 //
@@ -29,7 +32,16 @@ type metrics struct {
 		NsPerSchedulePop float64 `json:"ns_per_schedule_pop_depth256"`
 		NsPerCancel      float64 `json:"ns_per_cancel_depth256"`
 	} `json:"engine"`
+	AlgRoute struct {
+		NsPerRouteAlg float64 `json:"ns_per_route_alg"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"algroute"`
 }
+
+// minAlgSpeedup is the absolute floor on algroute.speedup in the head
+// report: the 8192-node barrier route set must build at least this many
+// times faster algebraically than by per-source BFS.
+const minAlgSpeedup = 50.0
 
 func load(path string) (metrics, error) {
 	var m metrics
@@ -71,6 +83,7 @@ func main() {
 		{"engine.ns_per_event", base.Engine.NsPerEvent, head.Engine.NsPerEvent},
 		{"engine.ns_per_schedule_pop_depth256", base.Engine.NsPerSchedulePop, head.Engine.NsPerSchedulePop},
 		{"engine.ns_per_cancel_depth256", base.Engine.NsPerCancel, head.Engine.NsPerCancel},
+		{"algroute.ns_per_route_alg", base.AlgRoute.NsPerRouteAlg, head.AlgRoute.NsPerRouteAlg},
 	}
 	failed := false
 	for _, g := range gates {
@@ -92,6 +105,23 @@ func main() {
 			fmt.Printf("%s %-38s base %8.1f ns  head %8.1f ns  %+.1f%%\n",
 				verdict, g.name, g.base, g.head, 100*delta)
 		}
+	}
+	// Absolute gate, independent of the baseline: once the head report
+	// carries an algroute section, its speedup must clear the floor.
+	switch {
+	case head.AlgRoute.Speedup <= 0 && base.AlgRoute.Speedup <= 0:
+		fmt.Printf("SKIP %-38s absent in both reports\n", "algroute.speedup")
+	case head.AlgRoute.Speedup <= 0:
+		fmt.Printf("FAIL %-38s present in base (%.0fx) but missing from head\n",
+			"algroute.speedup", base.AlgRoute.Speedup)
+		failed = true
+	case head.AlgRoute.Speedup < minAlgSpeedup:
+		fmt.Printf("FAIL %-38s head %.1fx below the %.0fx floor\n",
+			"algroute.speedup", head.AlgRoute.Speedup, minAlgSpeedup)
+		failed = true
+	default:
+		fmt.Printf("ok   %-38s head %.0fx (floor %.0fx)\n",
+			"algroute.speedup", head.AlgRoute.Speedup, minAlgSpeedup)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: regression beyond %.0f%% threshold\n", 100**threshold)

@@ -93,6 +93,33 @@ type Report struct {
 		RouteTableMs float64 `json:"route_table_ms"`
 		RoutesPerSec float64 `json:"routes_per_sec"`
 	} `json:"topo"`
+	// AlgRoute benchmarks algebraic source routing at 8192 nodes against
+	// the BFS fallback, on the route set a tuned GB barrier actually
+	// materializes (every parent<->child pair of the tree). BFS pays one
+	// full per-source graph traversal for each of the n distinct sources
+	// in that set; the algebraic path pays O(1) per route. The speedup is
+	// the CI-enforced O(1) claim (cmd/benchgate holds it above 50x).
+	AlgRoute struct {
+		Nodes    int `json:"nodes"`
+		Radix    int `json:"radix"`
+		TunedDim int `json:"tuned_gb_dim"`
+		// BuildMs is the wiring-plan construction time (no routes).
+		BuildMs float64 `json:"build_ms"`
+		// NsPerRouteAlg is the cold per-route cost of the algebraic path,
+		// memoization included.
+		NsPerRouteAlg float64 `json:"ns_per_route_alg"`
+		// BFSRowMs is one per-source BFS pass over the same fabric
+		// (mean over sampled sources).
+		BFSRowMs float64 `json:"bfs_row_ms"`
+		// RouteSetRoutes is the barrier's route count: 2(n-1) ordered
+		// parent<->child pairs.
+		RouteSetRoutes int     `json:"route_set_routes"`
+		AlgSetMs       float64 `json:"alg_set_ms"`
+		// BFSSetMsEst extrapolates the BFS cost of the same set: n
+		// distinct sources x one row pass each.
+		BFSSetMsEst float64 `json:"bfs_set_ms_est"`
+		Speedup     float64 `json:"speedup"`
+	} `json:"algroute"`
 }
 
 func main() {
@@ -178,8 +205,12 @@ func main() {
 	}
 
 	// Topology construction and routing cost: the 1024-node radix-16
-	// fat-tree, built from scratch and fully routed (one BFS per source).
+	// fat-tree, built from scratch and fully routed (algebraically since
+	// the algroute change; the metric tracks whatever Build wires in).
 	topoBench(&r)
+
+	// Algebraic routing vs the BFS fallback at 8192 nodes.
+	algRouteBench(&r)
 
 	fmt.Printf("engine: %.1f ns/event (%.0f events/sec over %d events)\n",
 		r.Engine.NsPerEvent, r.Engine.EventsPerSec, r.Engine.Events)
@@ -207,9 +238,13 @@ func main() {
 				r.Partitioned.PartitionedSec, r.Partitioned.Windows, r.Partitioned.CrossPosts)
 		}
 	}
-	fmt.Printf("topo:   %d-node clos3 (%d switches, diameter %d): build %.2fms, route table %.0fms (%.0f routes/sec)\n",
+	fmt.Printf("topo:   %d-node clos3 (%d switches, diameter %d): build %.2fms, route table %.2fms (%.0f routes/sec)\n",
 		r.Topo.Nodes, r.Topo.Switches, r.Topo.Diameter,
 		r.Topo.BuildMs, r.Topo.RouteTableMs, r.Topo.RoutesPerSec)
+	fmt.Printf("algroute: %d-node clos3 radix %d (GB dim %d): %.0f ns/route algebraic, BFS row %.2fms; barrier route set (%d routes) %.2fms vs %.0fms BFS — %.0fx\n",
+		r.AlgRoute.Nodes, r.AlgRoute.Radix, r.AlgRoute.TunedDim,
+		r.AlgRoute.NsPerRouteAlg, r.AlgRoute.BFSRowMs, r.AlgRoute.RouteSetRoutes,
+		r.AlgRoute.AlgSetMs, r.AlgRoute.BFSSetMsEst, r.AlgRoute.Speedup)
 
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(r, "", "  ")
@@ -305,6 +340,57 @@ func topoBench(r *Report) {
 	r.Topo.Nodes = n
 	r.Topo.Switches = st.Switches
 	r.Topo.Diameter = st.Diameter
+}
+
+// algRouteBench measures the tentpole claim: building the route set of a
+// tuned GB barrier on the 8192-node radix-32 fat-tree, algebraically vs
+// by per-source BFS. The algebraic side is timed cold (fresh Topology,
+// empty memo); the BFS side is one RoutesFrom per sampled source on the
+// same graph, extrapolated to the n distinct sources the set contains.
+func algRouteBench(r *Report) {
+	const n, radix = 8192, 32
+	t0 := time.Now()
+	tp := topo.MustBuild(topo.Spec{Kind: topo.Clos3, Nodes: n, Radix: radix})
+	r.AlgRoute.BuildMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	dim := experiments.TunedGBDim(cluster.DefaultConfig(n))
+
+	// The barrier's route set: gather (child -> parent) and broadcast
+	// (parent -> child) for every tree edge.
+	type pair struct{ src, dst int }
+	pairs := make([]pair, 0, 2*(n-1))
+	for i := 1; i < n; i++ {
+		p := (i - 1) / dim
+		pairs = append(pairs, pair{i, p}, pair{p, i})
+	}
+	t0 = time.Now()
+	for _, pr := range pairs {
+		if _, err := tp.Route(pr.src, pr.dst); err != nil {
+			panic(err)
+		}
+	}
+	algWall := time.Since(t0)
+
+	// One BFS row per sampled source (graph pre-built so the first row
+	// doesn't absorb graph construction).
+	g := tp.Graph()
+	const rows = 8
+	t0 = time.Now()
+	for i := 0; i < rows; i++ {
+		if _, err := g.RoutesFrom(topo.NICVertex(i * (n / rows))); err != nil {
+			panic(err)
+		}
+	}
+	bfsRow := time.Since(t0).Seconds() * 1000 / rows
+
+	r.AlgRoute.Nodes = n
+	r.AlgRoute.Radix = radix
+	r.AlgRoute.TunedDim = dim
+	r.AlgRoute.NsPerRouteAlg = float64(algWall.Nanoseconds()) / float64(len(pairs))
+	r.AlgRoute.BFSRowMs = bfsRow
+	r.AlgRoute.RouteSetRoutes = len(pairs)
+	r.AlgRoute.AlgSetMs = float64(algWall.Nanoseconds()) / 1e6
+	r.AlgRoute.BFSSetMsEst = bfsRow * float64(n)
+	r.AlgRoute.Speedup = r.AlgRoute.BFSSetMsEst / r.AlgRoute.AlgSetMs
 }
 
 // lastTracedSpans records the span count of the most recent traced

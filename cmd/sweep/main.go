@@ -9,6 +9,7 @@
 //	sweep -topo star|clos2|clos3 [-radix R] [-sizes 32,64] ...
 //	sweep -faultplan corrupt [-seed S]        # reliable barrier under faults
 //	sweep -nodes 16 -dim 4                    # one size, one dimension
+//	sweep -tuned -topo clos3 -radix 32 -nodes 8192   # model-tuned dim only
 //
 // The spec flags (-topo, -radix, -nodes, -dim, -faultplan, -seed,
 // -partitions) are the shared vocabulary of internal/service: the same
@@ -19,6 +20,10 @@
 // -nodes overrides -sizes; an explicit -dim restricts the sweep to that
 // dimension. -partitions > 1 runs the conservative parallel engine
 // (multi-switch fabrics only; results are bit-identical to serial).
+//
+// -tuned replaces the exhaustive dimension sweep with the closed-form
+// steady-state model (internal/model): it measures only the model's argmin
+// dimension, which makes sweeping sizes like 8192 practical.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"gmsim/internal/cluster"
 	"gmsim/internal/experiments"
+	"gmsim/internal/mcp"
 	"gmsim/internal/runner"
 	"gmsim/internal/service"
 	"gmsim/internal/stats"
@@ -42,6 +48,7 @@ func main() {
 	levelArg := flag.String("level", "nic", "barrier placement: nic or host")
 	sizesArg := flag.String("sizes", "4,8,16", "comma-separated node counts")
 	iters := flag.Int("iters", 100, "timed iterations per point")
+	tuned := flag.Bool("tuned", false, "measure only the model-tuned GB dimension instead of sweeping")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (results are identical at any value)")
 	sf := service.BindSpecFlags(flag.CommandLine)
 	flag.Parse()
@@ -114,6 +121,25 @@ func main() {
 		if err := cfg.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if *tuned {
+			if dimSet {
+				fmt.Fprintln(os.Stderr, "-tuned and -dim are mutually exclusive")
+				os.Exit(2)
+			}
+			d := experiments.TunedGBDim(cfg)
+			res := experiments.MeasureBarriers([]experiments.Spec{{
+				Cluster: cfg, Level: level, Alg: mcp.GB, Dim: d,
+				TopoAware: topoAware, Iters: *iters,
+			}})
+			tbl := stats.NewTable(
+				fmt.Sprintf("%s-based GB barrier, %d nodes, LANai %s: model-tuned dimension",
+					level, n, *nicModel),
+				"Dim", "Latency (us)", "")
+			tbl.AddRow(d, res[0].MeanMicros, "<- model-tuned (no sweep)")
+			fmt.Print(tbl.String())
+			fmt.Println()
+			continue
 		}
 		pts := experiments.GBDimSweepOn(cfg, level, *iters, topoAware)
 		if dimSet {

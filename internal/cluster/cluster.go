@@ -299,12 +299,12 @@ func New(cfg Config) *Cluster {
 		m := mcp.New(nic, mcfg)
 		place := top.NICs[i]
 		iface := f.AttachNIC(node, sws[place.Switch], place.Port, cfg.Link, m.HandleDelivered)
-		// Routes come from the topology's cached table (one BFS per
-		// source, shared across destinations) rather than a per-send BFS
-		// over the fabric graph; the values are identical — the table is
-		// computed over the same graph with the same tie-breaking — but
-		// lookups are O(1), which matters when 1024 NICs each talk to
-		// dozens of peers.
+		// Routes come from the topology: closed-form address arithmetic
+		// on star/Clos/fat-tree specs, a cached BFS row per source
+		// otherwise. Either way the values match a per-send BFS over the
+		// fabric graph — same graph, same tie-breaking — but lookups are
+		// O(1), which matters when 8192 NICs each talk to dozens of
+		// peers.
 		src := i
 		m.Attach(iface, func(dst network.NodeID) ([]byte, error) {
 			return top.Route(src, int(dst))

@@ -103,7 +103,18 @@ func MeasureBarrier(spec Spec) Result {
 		if err != nil {
 			panic(err)
 		}
-		comm, err := core.NewComm(p, port, 4*n+16)
+		// Receive-buffer provisioning scales with the cluster so the
+		// paper-scale runs never stall on buffers, but past 1024 nodes the
+		// linear rule would post tens of thousands of tokens per NIC
+		// (gigabytes across an 8192-node fabric) for a barrier that keeps
+		// at most ~2(log n + dim) frames outstanding per node. The cap
+		// applies only above 1024 nodes, so every pinned timing at
+		// paper and 1024-node scale keeps its historical buffer count.
+		bufs := 4*n + 16
+		if n > 1024 {
+			bufs = 256
+		}
+		comm, err := core.NewComm(p, port, bufs)
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"gmsim/internal/gm"
 	"gmsim/internal/host"
 	"gmsim/internal/mcp"
+	"gmsim/internal/model"
 	"gmsim/internal/network"
 	"gmsim/internal/runner"
 	"gmsim/internal/sim"
@@ -85,6 +86,39 @@ func TopoScaleSweep(kinds []topo.Kind, sizes []int, radix, iters int, dims []int
 // baseline, which has no switch boundary to cut — silently run serial, so
 // mixed sweeps like single+clos3 still produce every row.
 func TopoScaleSweepPartitioned(kinds []topo.Kind, sizes []int, radix, iters int, dims []int, partitions int) []TopoScaleRow {
+	dimsFor := func(cluster.Config, int) []int { return dims }
+	if dims == nil {
+		dimsFor = func(_ cluster.Config, n int) []int { return gbDims(n) }
+	}
+	return topoScaleSweep(kinds, sizes, radix, iters, dimsFor, partitions)
+}
+
+// TunedGBDim picks the GB tree dimension for cfg from the closed-form
+// steady-state model (internal/model) instead of an exhaustive
+// per-dimension DES sweep — the same argmin GBDimSweep measures on every
+// conformance cell (see tuned_test.go), at a millionth of the cost. The
+// model prices the single-crossbar steady state; on a multi-switch fabric
+// the tuned dimension is the flat-tree optimum, which the topology-aware
+// mapping then folds onto leaves.
+func TunedGBDim(cfg cluster.Config) int {
+	return model.TunedGBDim(cfg.Nodes, model.GBCostsAt(cfg.NIC.ClockMHz))
+}
+
+// TopoScaleSweepAuto is TopoScaleSweepPartitioned with the GB dimension
+// chosen by TunedGBDim per row instead of swept: each (kind, size) cell
+// costs 4 simulations instead of 2 + 2·|dims|, which is what makes the
+// 8192- and 16384-node fat-tree rows affordable. The host GB row reuses
+// the NIC-tuned dimension (an approximation — the host steady state has
+// the same shape with larger per-level constants, and its optimum moves
+// little; the sweep remains available where the exact host argmin
+// matters).
+func TopoScaleSweepAuto(kinds []topo.Kind, sizes []int, radix, iters, partitions int) []TopoScaleRow {
+	return topoScaleSweep(kinds, sizes, radix, iters, func(cfg cluster.Config, _ int) []int {
+		return []int{TunedGBDim(cfg)}
+	}, partitions)
+}
+
+func topoScaleSweep(kinds []topo.Kind, sizes []int, radix, iters int, dimsFor func(cluster.Config, int) []int, partitions int) []TopoScaleRow {
 	type rowPlan struct {
 		kind               topo.Kind
 		n                  int
@@ -115,10 +149,7 @@ func TopoScaleSweepPartitioned(kinds []topo.Kind, sizes []int, radix, iters int,
 					cfg.Partitions = 1
 				}
 			}
-			ds := dims
-			if ds == nil {
-				ds = gbDims(n)
-			}
+			ds := dimsFor(cfg, n)
 			plans = append(plans, rowPlan{
 				kind: kind, n: n,
 				switches: t.Switches(), diameter: st.Diameter,

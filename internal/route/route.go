@@ -11,6 +11,7 @@ package route
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Vertex identifies a device in the topology: either a switch or a NIC.
@@ -36,9 +37,21 @@ type edge struct {
 
 // Graph is a topology of switches and NICs. The zero value is unusable;
 // call NewGraph.
+//
+// Construction (AddVertex/AddEdge) is single-threaded; once built, any
+// number of goroutines may Route/RoutesFrom concurrently.
 type Graph struct {
 	kinds map[Vertex]Kind
 	adj   map[Vertex][]edge
+
+	// sortMu guards the one-time in-place sort of adj below. Traversals
+	// must expand edges in (outPort, to) order for deterministic
+	// tie-breaking; sorting each adjacency list once on first traversal
+	// (instead of copying and re-sorting it on every vertex expansion of
+	// every BFS) is what keeps the per-source fallback cheap on 8192-node
+	// fabrics. AddEdge marks the graph dirty again.
+	sortMu sync.Mutex
+	sorted bool
 }
 
 // NewGraph returns an empty topology.
@@ -67,6 +80,28 @@ func (g *Graph) AddEdge(from Vertex, fromPort int, to Vertex) {
 		panic(fmt.Sprintf("route: edge to undeclared vertex %d", to))
 	}
 	g.adj[from] = append(g.adj[from], edge{to: to, outPort: fromPort})
+	g.sorted = false
+}
+
+// ensureSorted sorts every adjacency list into (outPort, to) order, once.
+// Edge order only matters through the route bytes a traversal emits, and
+// ties beyond (outPort, to) are between indistinguishable parallel cables,
+// so sorting in place preserves every observable result.
+func (g *Graph) ensureSorted() {
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if g.sorted {
+		return
+	}
+	for _, edges := range g.adj {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].outPort != edges[j].outPort {
+				return edges[i].outPort < edges[j].outPort
+			}
+			return edges[i].to < edges[j].to
+		})
+	}
+	g.sorted = true
 }
 
 // Kind returns the declared kind of v and whether v exists.
@@ -96,6 +131,7 @@ func (g *Graph) Route(src, dst Vertex) ([]byte, error) {
 	// BFS over vertices. Paths may pass through switches only; a NIC other
 	// than dst never forwards. For determinism, expand each vertex's edges
 	// in sorted (outPort, to) order.
+	g.ensureSorted()
 	type state struct {
 		v     Vertex
 		route []byte
@@ -105,14 +141,7 @@ func (g *Graph) Route(src, dst Vertex) ([]byte, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		edges := append([]edge(nil), g.adj[cur.v]...)
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].outPort != edges[j].outPort {
-				return edges[i].outPort < edges[j].outPort
-			}
-			return edges[i].to < edges[j].to
-		})
-		for _, e := range edges {
+		for _, e := range g.adj[cur.v] {
 			if visited[e.to] {
 				continue
 			}
@@ -153,6 +182,7 @@ func (g *Graph) RoutesFrom(src Vertex) (map[Vertex][]byte, error) {
 		return nil, fmt.Errorf("route: source %d is not a NIC", src)
 	}
 	out := map[Vertex][]byte{src: {}}
+	g.ensureSorted()
 	type state struct {
 		v     Vertex
 		route []byte
@@ -162,14 +192,7 @@ func (g *Graph) RoutesFrom(src Vertex) (map[Vertex][]byte, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		edges := append([]edge(nil), g.adj[cur.v]...)
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].outPort != edges[j].outPort {
-				return edges[i].outPort < edges[j].outPort
-			}
-			return edges[i].to < edges[j].to
-		})
-		for _, e := range edges {
+		for _, e := range g.adj[cur.v] {
 			if visited[e.to] {
 				continue
 			}

@@ -322,3 +322,29 @@ func TestRoutesFromSwitchErrors(t *testing.T) {
 		t.Fatal("RoutesFrom from a switch vertex should error")
 	}
 }
+
+// TestAddEdgeAfterRouting: the one-time adjacency sort must not freeze the
+// graph — an edge added after a traversal re-dirties it, and the next
+// traversal sees the new cable with the same lowest-port tie-breaking.
+func TestAddEdgeAfterRouting(t *testing.T) {
+	g := NewGraph()
+	sw := Vertex(0)
+	g.AddVertex(sw, SwitchVertex)
+	a, b := Vertex(1), Vertex(2)
+	g.AddVertex(a, NICVertex)
+	g.AddVertex(b, NICVertex)
+	g.AddEdge(a, 0, sw)
+	g.AddEdge(sw, 3, b)
+	if r, err := g.Route(a, b); err != nil || len(r) != 1 || r[0] != 3 {
+		t.Fatalf("route = %v, %v, want [3]", r, err)
+	}
+	// A lower-port cable added after the first traversal must win the next.
+	g.AddEdge(sw, 1, b)
+	if r, err := g.Route(a, b); err != nil || len(r) != 1 || r[0] != 1 {
+		t.Fatalf("route after AddEdge = %v, %v, want [1] (lowest port)", r, err)
+	}
+	rows, err := g.RoutesFrom(a)
+	if err != nil || len(rows[b]) != 1 || rows[b][0] != 1 {
+		t.Fatalf("RoutesFrom after AddEdge = %v, %v, want [1]", rows[b], err)
+	}
+}

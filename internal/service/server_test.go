@@ -225,8 +225,12 @@ func TestServerBackpressure(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// Occupy the single worker with a slow job.
-	slow := Spec{Nodes: 8, Iters: 400, Warmup: 2}
+	// Occupy the single worker with a slow job. The iteration count is the
+	// flake margin: every submit below must land while this job still owns
+	// the worker, or the queue drains and the final duplicate is served as
+	// a 200 cache hit instead of coalescing — seen on loaded single-core
+	// runners at 400 iterations (~0.2 s of wall time for ~50 ms of HTTP).
+	slow := Spec{Nodes: 8, Iters: 4000, Warmup: 2}
 	resp, b := post(t, ts.Client(), ts.URL+"/v1/runs?async=1", slow, "hog")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("slow submit: %d %s", resp.StatusCode, b)

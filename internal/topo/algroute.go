@@ -1,0 +1,194 @@
+package topo
+
+import "sync"
+
+// Algebraic source routing.
+//
+// The BFS route table costs one graph traversal per source — ~1 s for all
+// pairs at 1024 nodes and quadratic beyond, the real ceiling on fabric
+// scale. But the regular kinds (Star, Clos2, Clos3) wire every switch from
+// closed-form address arithmetic, so the deterministic-BFS route between
+// two nodes is itself closed-form: the lexicographically smallest shortest
+// port sequence always climbs through the lowest-numbered common ancestor
+// (uplink 0) and descends by the destination's own address digits. This
+// file derives each (src, dst) route in O(1) from that arithmetic,
+// bit-identical to the cached-BFS rows (the property and golden tests in
+// algroute_test.go hold the two implementations together).
+//
+// Why bit-identical and not merely equivalent: routes are wire-visible
+// (each byte is consumed by a physical switch) and the simulator's
+// determinism contract pins exact event timing, so a route that differed
+// only in which equal-cost spine it crossed would still shift contention
+// and break golden figures.
+//
+// The derivations, per kind (see the builders in topo.go for the wiring):
+//
+//   - Star: node i sits on leaf i/per, port i%per. Same-leaf routes are the
+//     single byte [dstPort]. Cross-leaf routes climb the leaf's only uplink
+//     (port radix-1), cross the root (whose port l faces leaf l), and exit
+//     the destination leaf: [radix-1, dstLeaf, dstPort].
+//   - Clos2: node i sits on leaf i/down, port i%down; leaf uplink s (port
+//     radix/2+s) faces spine s, whose port l faces leaf l. Every spine
+//     gives an equal-length path; BFS's lowest-port tie-break always picks
+//     spine 0: [radix/2, dstLeaf, dstPort].
+//   - Clos3 (k-ary fat-tree, h = k/2): node i is (pod, edge, port) =
+//     (i/h², (i%h²)/h, i%h). Edge uplink a (port h+a) faces aggregation a;
+//     aggregation uplink j (port h+j) faces core switch (a, j), whose port
+//     p faces pod p; descending, aggregation port e faces edge e. The
+//     tie-break picks aggregation 0 and core (0,0): same-edge [dstPort],
+//     same-pod [h, dstEdge, dstPort], cross-pod [h, h, dstPod, dstEdge,
+//     dstPort].
+//
+// Routes at scale are memoized per ordered pair rather than per source
+// row: a barrier at 8192 nodes touches O(n·dim) pairs, while materializing
+// full rows would commit O(n²) slices (~1.6 GB) for routes nothing sends.
+
+// algRouter computes source routes from address arithmetic for the
+// regular topology kinds. A nil *algRouter means the topology routes via
+// BFS (Single, TwoSwitch — their expanded crossbars carry no algebraic
+// structure worth special-casing, and keeping them on the BFS path keeps
+// the fallback exercised).
+type algRouter struct {
+	kind Kind
+	n    int
+
+	// Star and Clos2: nodes per leaf switch and the uplink route byte
+	// (star: radix-1, the single root uplink; clos2: radix/2, the port
+	// facing spine 0).
+	per    int
+	uplink byte
+
+	// Clos3: half-radix and nodes per pod (h and h²).
+	h, perPod int
+
+	// memo caches computed routes per ordered (src, dst) pair, keyed
+	// src*n+dst. Guarded by a RWMutex: in the steady state every transmit
+	// is a read hit, and a Topology is shared across the worker pool's
+	// concurrent simulations (see the Build plan cache).
+	mu   sync.RWMutex
+	memo map[int64][]byte
+}
+
+// emptyRoute is the shared self-route, mirroring the BFS row convention
+// (row[src] = []byte{}).
+var emptyRoute = []byte{}
+
+// newAlgRouter returns the algebraic router for a built topology, or nil
+// when the kind has no algebraic form.
+func newAlgRouter(t *Topology) *algRouter {
+	sp := t.Spec
+	a := &algRouter{kind: sp.Kind, n: sp.Nodes, memo: make(map[int64][]byte)}
+	switch sp.Kind {
+	case Star:
+		per := sp.Radix - 1
+		if sp.LeafNodes > 0 && sp.LeafNodes < per {
+			per = sp.LeafNodes
+		}
+		a.per, a.uplink = per, byte(sp.Radix-1)
+	case Clos2:
+		down := sp.Radix / 2
+		if sp.LeafNodes > 0 && sp.LeafNodes < down {
+			down = sp.LeafNodes
+		}
+		a.per, a.uplink = down, byte(sp.Radix/2)
+	case Clos3:
+		a.h = sp.Radix / 2
+		a.perPod = a.h * a.h
+	default:
+		return nil
+	}
+	return a
+}
+
+// compute derives the route without touching the memo. src and dst are
+// in-range (the caller validated them).
+func (a *algRouter) compute(src, dst int) []byte {
+	if src == dst {
+		return emptyRoute
+	}
+	switch a.kind {
+	case Star, Clos2:
+		sl, dl := src/a.per, dst/a.per
+		port := byte(dst % a.per)
+		if sl == dl {
+			return []byte{port}
+		}
+		return []byte{a.uplink, byte(dl), port}
+	default: // Clos3
+		h := a.h
+		sp, dp := src/a.perPod, dst/a.perPod
+		se, de := (src%a.perPod)/h, (dst%a.perPod)/h
+		port := byte(dst % h)
+		switch {
+		case sp == dp && se == de:
+			return []byte{port}
+		case sp == dp:
+			return []byte{byte(h), byte(de), port}
+		default:
+			return []byte{byte(h), byte(h), byte(dp), byte(de), port}
+		}
+	}
+}
+
+// route returns the memoized route for the ordered pair.
+func (a *algRouter) route(src, dst int) []byte {
+	key := int64(src)*int64(a.n) + int64(dst)
+	a.mu.RLock()
+	r, ok := a.memo[key]
+	a.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = a.compute(src, dst)
+	a.mu.Lock()
+	a.memo[key] = r
+	a.mu.Unlock()
+	return r
+}
+
+// stats fills the routing geometry of st (Diameter, AvgHops,
+// HopsHistogram) in closed form, by counting ordered pairs per locality
+// class instead of walking an O(n²) route table — at 8192 nodes the table
+// is 67M routes, the class counts are a handful of integer sums.
+func (a *algRouter) stats(st *Stats) {
+	n := a.n
+	if n < 2 {
+		return
+	}
+	total := int64(n) * int64(n-1)
+	// samePairs sums ordered same-group pairs for n nodes packed
+	// contiguously into groups of size per (the last group partial).
+	samePairs := func(per int) int64 {
+		if per <= 0 {
+			return 0
+		}
+		full := n / per
+		rem := n % per
+		return int64(full)*int64(per)*int64(per-1) + int64(rem)*int64(rem-1)
+	}
+	var hist []int64
+	switch a.kind {
+	case Star, Clos2:
+		same := samePairs(a.per)
+		hist = []int64{0, same, 0, total - same}
+	default: // Clos3
+		sameEdge := samePairs(a.h)
+		samePod := samePairs(a.perPod) - sameEdge
+		hist = []int64{0, sameEdge, 0, samePod, 0, total - sameEdge - samePod}
+	}
+	// Trim trailing empty classes so the histogram length and diameter
+	// match what the BFS table walk produces.
+	for len(hist) > 1 && hist[len(hist)-1] == 0 {
+		hist = hist[:len(hist)-1]
+	}
+	var sum int64
+	st.HopsHistogram = make([]int, len(hist))
+	for h, c := range hist {
+		st.HopsHistogram[h] = int(c)
+		sum += int64(h) * c
+		if c > 0 {
+			st.Diameter = h
+		}
+	}
+	st.AvgHops = float64(sum) / float64(total)
+}

@@ -1,0 +1,437 @@
+package topo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var updateRoutes = flag.Bool("update", false,
+	"rewrite the golden route files under testdata")
+
+// bfsRow computes node src's routes straight from the graph via
+// route.RoutesFrom — the oracle the algebraic path must match byte for
+// byte. It deliberately bypasses Topology.Route so the two
+// implementations stay independent.
+func bfsRow(tp *Topology, src int) ([][]byte, error) {
+	byVertex, err := tp.Graph().RoutesFrom(NICVertex(src))
+	if err != nil {
+		return nil, err
+	}
+	row := make([][]byte, tp.Nodes())
+	for d := range row {
+		row[d] = byVertex[NICVertex(d)]
+	}
+	if row[src] == nil {
+		row[src] = []byte{}
+	}
+	return row, nil
+}
+
+// routesMatchBFS compares every ordered pair's Topology.Route against the
+// BFS oracle.
+func routesMatchBFS(tp *Topology) error {
+	n := tp.Nodes()
+	for s := 0; s < n; s++ {
+		want, err := bfsRow(tp, s)
+		if err != nil {
+			return err
+		}
+		for d := 0; d < n; d++ {
+			got, err := tp.Route(s, d)
+			if err != nil {
+				return fmt.Errorf("%v: Route(%d,%d): %v", tp.Spec, s, d, err)
+			}
+			if !bytes.Equal(got, want[d]) {
+				return fmt.Errorf("%v: route %d->%d = %x, BFS says %x",
+					tp.Spec, s, d, got, want[d])
+			}
+		}
+	}
+	return nil
+}
+
+// randomAlgSpec draws a qualifying spec: kind ∈ {star, clos2, clos3},
+// radix ∈ {4, 8, 16}, LeafNodes sometimes capped, size anywhere from one
+// node to capacity (clamped to keep the BFS oracle fast).
+func randomAlgSpec(r *rand.Rand) Spec {
+	kinds := []Kind{Star, Clos2, Clos3}
+	radices := []int{4, 8, 16}
+	sp := Spec{Kind: kinds[r.Intn(len(kinds))], Radix: radices[r.Intn(len(radices))]}
+	switch {
+	case sp.Kind == Star && r.Intn(2) == 1:
+		sp.LeafNodes = 1 + r.Intn(sp.Radix-1)
+	case sp.Kind == Clos2 && r.Intn(2) == 1:
+		sp.LeafNodes = 1 + r.Intn(sp.Radix/2)
+	}
+	max := sp.Capacity()
+	if max > 144 {
+		max = 144
+	}
+	sp.Nodes = 1 + r.Intn(max)
+	return sp
+}
+
+// TestAlgRouteEquivalence is the core property: for every qualifying spec
+// shape, algebraic routes are bit-identical to the deterministic-BFS rows
+// on the full ordered-pair table.
+func TestAlgRouteEquivalence(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Rand:     rand.New(rand.NewSource(1)),
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(randomAlgSpec(r))
+		},
+	}
+	prop := func(sp Spec) bool {
+		tp, err := Build(sp)
+		if err != nil {
+			t.Errorf("Build(%+v): %v", sp, err)
+			return false
+		}
+		if !tp.Algebraic() {
+			t.Errorf("Build(%+v) did not take the algebraic path", sp)
+			return false
+		}
+		if err := routesMatchBFS(tp); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// portDest resolves one switch output port to its neighbor.
+type portDest struct {
+	toSwitch int // -1 when the port faces a NIC (or is dark)
+	toNIC    int // -1 when the port faces a switch (or is dark)
+}
+
+func portMap(tp *Topology) [][]portDest {
+	m := make([][]portDest, len(tp.SwitchPorts))
+	for s, ports := range tp.SwitchPorts {
+		m[s] = make([]portDest, ports)
+		for p := range m[s] {
+			m[s][p] = portDest{toSwitch: -1, toNIC: -1}
+		}
+	}
+	for _, tr := range tp.Trunks {
+		m[tr.A][tr.APort] = portDest{toSwitch: tr.B, toNIC: -1}
+		m[tr.B][tr.BPort] = portDest{toSwitch: tr.A, toNIC: -1}
+	}
+	for nic, pl := range tp.NICs {
+		m[pl.Switch][pl.Port] = portDest{toSwitch: -1, toNIC: nic}
+	}
+	return m
+}
+
+// walkRoute replays a route byte-by-byte through the wiring plan: every
+// byte must name a live port on the current switch (one byte per hop),
+// intermediate hops must land on switches, and the final byte must exit
+// onto dst's NIC cable.
+func walkRoute(tp *Topology, m [][]portDest, src, dst int, r []byte) error {
+	if src == dst {
+		if len(r) != 0 {
+			return fmt.Errorf("self-route %d->%d not empty: %x", src, dst, r)
+		}
+		return nil
+	}
+	cur := tp.NICs[src].Switch
+	for i, b := range r {
+		if int(b) >= len(m[cur]) {
+			return fmt.Errorf("route %d->%d hop %d: port %d beyond switch %d's %d ports",
+				src, dst, i, b, cur, len(m[cur]))
+		}
+		d := m[cur][int(b)]
+		if i == len(r)-1 {
+			if d.toNIC != dst {
+				return fmt.Errorf("route %d->%d final hop: switch %d port %d reaches NIC %d",
+					src, dst, cur, b, d.toNIC)
+			}
+		} else {
+			if d.toSwitch < 0 {
+				return fmt.Errorf("route %d->%d hop %d: switch %d port %d is not a trunk",
+					src, dst, i, cur, b)
+			}
+			cur = d.toSwitch
+		}
+	}
+	return nil
+}
+
+// TestAlgRouteInvariants checks route validity on a deterministic spec
+// grid: hop count never exceeds the diameter, every hop names a real
+// port, and each route walks switch-to-switch until the final byte exits
+// onto the destination NIC.
+func TestAlgRouteInvariants(t *testing.T) {
+	var specs []Spec
+	for _, k := range []Kind{Star, Clos2, Clos3} {
+		for _, r := range []int{4, 8, 16} {
+			sp := Spec{Kind: k, Radix: r}
+			max := sp.Capacity()
+			if max > 96 {
+				max = 96
+			}
+			for _, n := range []int{1, 2, max/2 + 1, max} {
+				specs = append(specs, Spec{Kind: k, Radix: r, Nodes: n})
+			}
+		}
+	}
+	specs = append(specs,
+		Spec{Kind: Star, Radix: 8, Nodes: 20, LeafNodes: 3},
+		Spec{Kind: Clos2, Radix: 8, Nodes: 14, LeafNodes: 2},
+	)
+	for _, sp := range specs {
+		tp := MustBuild(sp)
+		st, err := tp.ComputeStats()
+		if err != nil {
+			t.Fatalf("%+v: stats: %v", sp, err)
+		}
+		m := portMap(tp)
+		n := tp.Nodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				r, err := tp.Route(s, d)
+				if err != nil {
+					t.Fatalf("%+v: Route(%d,%d): %v", sp, s, d, err)
+				}
+				if s != d && len(r) > st.Diameter {
+					t.Fatalf("%+v: route %d->%d has %d hops, diameter %d",
+						sp, s, d, len(r), st.Diameter)
+				}
+				if err := walkRoute(tp, m, s, d, r); err != nil {
+					t.Fatalf("%+v: %v", sp, err)
+				}
+			}
+		}
+	}
+}
+
+// TestAlgStatsMatchWalk pins the closed-form statistics to the
+// route-table walk on specs covering every locality split: single-leaf,
+// partial last group, LeafNodes caps, one node, full capacity.
+func TestAlgStatsMatchWalk(t *testing.T) {
+	specs := []Spec{
+		{Kind: Star, Radix: 4, Nodes: 1},
+		{Kind: Star, Radix: 4, Nodes: 3},  // one leaf only
+		{Kind: Star, Radix: 4, Nodes: 11}, // partial last leaf
+		{Kind: Star, Radix: 8, Nodes: 20, LeafNodes: 3},
+		{Kind: Clos2, Radix: 4, Nodes: 2},
+		{Kind: Clos2, Radix: 8, Nodes: 30},
+		{Kind: Clos2, Radix: 8, Nodes: 14, LeafNodes: 2},
+		{Kind: Clos3, Radix: 4, Nodes: 2},
+		{Kind: Clos3, Radix: 4, Nodes: 16},
+		{Kind: Clos3, Radix: 8, Nodes: 100}, // partial pod, partial edge
+		{Kind: Clos3, Radix: 2, Nodes: 2},   // degenerate h=1: all cross-pod
+	}
+	for _, sp := range specs {
+		tp := MustBuild(sp)
+		got, err := tp.ComputeStats()
+		if err != nil {
+			t.Fatalf("%+v: ComputeStats: %v", sp, err)
+		}
+		if !tp.Algebraic() {
+			t.Fatalf("%+v: expected algebraic topology", sp)
+		}
+		want, err := tp.computeStatsWalk(Stats{
+			Kind: sp.Kind, Nodes: tp.Nodes(), Switches: tp.Switches(),
+			Trunks: len(tp.Trunks), BisectionLinks: tp.BisectionLinks,
+		})
+		if err != nil {
+			t.Fatalf("%+v: walk: %v", sp, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%+v: closed-form stats %+v != walked stats %+v", sp, got, want)
+		}
+	}
+}
+
+// routeString renders one route for the golden files.
+func routeString(r []byte) string {
+	if len(r) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(r))
+	for i, b := range r {
+		parts[i] = fmt.Sprintf("%02x", b)
+	}
+	return strings.Join(parts, " ")
+}
+
+func goldenCompare(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateRoutes {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s: route bytes changed — an up-link choice was reordered.\n got:\n%s\nwant:\n%s",
+			path, got, string(want))
+	}
+}
+
+// TestGoldenRoutesClos3_16 pins every route byte of the paper-scale
+// 16-node fat-tree (radix 4). A refactor that silently reorders up-link
+// selection fails against the checked-in listing.
+func TestGoldenRoutesClos3_16(t *testing.T) {
+	tp := MustBuild(Spec{Kind: Clos3, Nodes: 16, Radix: 4})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# clos3 radix 4, 16 nodes: full source-route table\n")
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			r, err := tp.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "%d->%d: %s\n", s, d, routeString(r))
+		}
+	}
+	goldenCompare(t, filepath.Join("testdata", "algroute_clos3_16.golden"), sb.String())
+}
+
+// TestGoldenRoutesClos3_1024 pins the 1024-node radix-16 fat-tree: a
+// SHA-256 over the full million-route table plus a strided sample listed
+// in the clear for debuggability.
+func TestGoldenRoutesClos3_1024(t *testing.T) {
+	tp := MustBuild(Spec{Kind: Clos3, Nodes: 1024, Radix: 16})
+	h := sha256.New()
+	for s := 0; s < 1024; s++ {
+		for d := 0; d < 1024; d++ {
+			r, err := tp.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(h, "%d>%d:%x\n", s, d, r)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# clos3 radix 16, 1024 nodes\n")
+	fmt.Fprintf(&sb, "sha256(full table) = %x\n", h.Sum(nil))
+	for i := 0; i < 64; i++ {
+		s, d := (i*131)%1024, (i*257+7)%1024
+		r, err := tp.Route(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "%d->%d: %s\n", s, d, routeString(r))
+	}
+	goldenCompare(t, filepath.Join("testdata", "algroute_clos3_1024.golden"), sb.String())
+}
+
+// TestBuildPlanMemo: a second Build of the same spec returns the same
+// plan and does zero BFS work, and the algebraic kinds never BFS at all.
+func TestBuildPlanMemo(t *testing.T) {
+	sp := Spec{Kind: TwoSwitch, Nodes: 26, Radix: 16}
+	t1, err := Build(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.RouteTable(); err != nil { // warm every BFS row
+		t.Fatal(err)
+	}
+	before := BFSPasses()
+	t2, err := Build(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != t1 {
+		t.Fatalf("second Build returned a distinct plan; route rows were dropped")
+	}
+	if _, err := t2.RouteTable(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Route(0, 25); err != nil {
+		t.Fatal(err)
+	}
+	if got := BFSPasses(); got != before {
+		t.Fatalf("second Build redid %d BFS passes; want 0", got-before)
+	}
+
+	// Defaulted radix and (ignored) AllowExpand canonicalize to the same
+	// cache entry.
+	c1, err := Build(Spec{Kind: Clos2, Nodes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(Spec{Kind: Clos2, Nodes: 20, Radix: DefaultRadix, AllowExpand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("canonically equal specs built distinct plans")
+	}
+
+	// Algebraic kinds answer routes, tables and stats without any BFS.
+	a := MustBuild(Spec{Kind: Clos3, Nodes: 128, Radix: 8})
+	before = BFSPasses()
+	if _, err := a.RouteTable(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Route(0, 127); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ComputeStats(); err != nil {
+		t.Fatal(err)
+	}
+	if got := BFSPasses(); got != before {
+		t.Fatalf("algebraic topology ran %d BFS passes; want 0", got-before)
+	}
+
+	// The crossbar kinds stay on the BFS fallback.
+	for _, k := range []Kind{Single, TwoSwitch} {
+		tp := MustBuild(Spec{Kind: k, Nodes: 8})
+		if tp.Algebraic() {
+			t.Fatalf("%v unexpectedly algebraic", k)
+		}
+	}
+}
+
+// FuzzAlgRouteSpec: an arbitrary Spec must either be rejected by the
+// builder or produce routes bit-identical to BFS — and never panic.
+func FuzzAlgRouteSpec(f *testing.F) {
+	f.Add(int(Star), 16, 8, 0, false)
+	f.Add(int(Star), 3, 2, 1, false)
+	f.Add(int(Clos2), 24, 8, 3, false)
+	f.Add(int(Clos2), 20, 0, 0, true)
+	f.Add(int(Clos3), 54, 6, 0, false)
+	f.Add(int(Clos3), 16, 4, 0, false)
+	f.Add(int(Single), 7, 0, 0, true)
+	f.Add(int(TwoSwitch), 26, 16, 0, false)
+	f.Add(int(Clos3), 2, 2, 0, false)
+	f.Fuzz(func(t *testing.T, kind, nodes, radix, leafNodes int, allowExpand bool) {
+		if nodes > 160 || radix > 64 {
+			t.Skip("oracle too slow past these bounds")
+		}
+		sp := Spec{Kind: Kind(kind), Nodes: nodes, Radix: radix,
+			LeafNodes: leafNodes, AllowExpand: allowExpand}
+		// Build via the unexported constructor: fuzz inputs must not
+		// thrash the process-wide plan cache.
+		tp, err := build(canonicalSpec(sp))
+		if err != nil {
+			return // rejected is a valid outcome
+		}
+		if err := routesMatchBFS(tp); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gmsim/internal/route"
 )
@@ -27,7 +28,25 @@ type routeCache struct {
 	mu    sync.Mutex
 	graph *route.Graph
 	rows  [][][]byte // [src][dst] -> port bytes; nil row = not yet computed
+
+	// alg, when non-nil, answers Route/RouteTable/ComputeStats from
+	// address arithmetic (see algroute.go) and the BFS machinery above
+	// never runs. Set once by Build; nil for kinds without algebraic form.
+	alg *algRouter
 }
+
+// bfsPassCount counts RoutesFrom traversals across every Topology in the
+// process — the unit of work the algebraic path and the Build plan cache
+// exist to eliminate. Tests assert it stays flat across cached rebuilds.
+var bfsPassCount atomic.Int64
+
+// BFSPasses reports the number of per-source BFS traversals performed
+// process-wide since start.
+func BFSPasses() int64 { return bfsPassCount.Load() }
+
+// Algebraic reports whether this topology routes by address arithmetic
+// instead of cached BFS rows.
+func (t *Topology) Algebraic() bool { return t.routes.alg != nil }
 
 // Graph returns the topology as a route.Graph: every switch, every NIC,
 // every trunk and every NIC cable, with port numbers as edge labels. The
@@ -72,6 +91,9 @@ func (t *Topology) Route(src, dst int) ([]byte, error) {
 	if dst < 0 || dst >= n {
 		return nil, fmt.Errorf("topo: no node %d", dst)
 	}
+	if a := t.routes.alg; a != nil {
+		return a.route(src, dst), nil
+	}
 	t.routes.mu.Lock()
 	defer t.routes.mu.Unlock()
 	row, err := t.rowLocked(src)
@@ -92,6 +114,7 @@ func (t *Topology) rowLocked(src int) ([][]byte, error) {
 	if t.routes.rows[src] != nil {
 		return t.routes.rows[src], nil
 	}
+	bfsPassCount.Add(1)
 	byVertex, err := t.graphLocked().RoutesFrom(NICVertex(src))
 	if err != nil {
 		return nil, err
@@ -111,6 +134,19 @@ func (t *Topology) rowLocked(src int) ([][]byte, error) {
 // pair, indexed [src][dst]. One BFS per source; a 1024-node three-level
 // Clos resolves in well under a second.
 func (t *Topology) RouteTable() ([][][]byte, error) {
+	if a := t.routes.alg; a != nil {
+		// Materialize directly from the arithmetic, bypassing the per-pair
+		// memo: a full table read would only bloat it.
+		out := make([][][]byte, len(t.NICs))
+		for s := range t.NICs {
+			row := make([][]byte, len(t.NICs))
+			for d := range t.NICs {
+				row[d] = a.compute(s, d)
+			}
+			out[s] = row
+		}
+		return out, nil
+	}
 	t.routes.mu.Lock()
 	defer t.routes.mu.Unlock()
 	out := make([][][]byte, len(t.NICs))
@@ -143,7 +179,9 @@ type Stats struct {
 	BisectionLinks int
 }
 
-// ComputeStats derives the topology statistics from the full route table.
+// ComputeStats derives the topology statistics — in closed form for
+// algebraic kinds (an 8192-node table walk would visit 67M routes), from
+// the full route table otherwise.
 func (t *Topology) ComputeStats() (Stats, error) {
 	st := Stats{
 		Kind:           t.Spec.Kind,
@@ -152,6 +190,16 @@ func (t *Topology) ComputeStats() (Stats, error) {
 		Trunks:         len(t.Trunks),
 		BisectionLinks: t.BisectionLinks,
 	}
+	if a := t.routes.alg; a != nil {
+		a.stats(&st)
+		return st, nil
+	}
+	return t.computeStatsWalk(st)
+}
+
+// computeStatsWalk is the route-table walk; kept as the fallback and as
+// the oracle the closed-form stats are tested against.
+func (t *Topology) computeStatsWalk(st Stats) (Stats, error) {
 	tbl, err := t.RouteTable()
 	if err != nil {
 		return st, err

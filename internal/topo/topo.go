@@ -28,6 +28,7 @@ package topo
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind selects the fabric shape.
@@ -183,11 +184,70 @@ func (s Spec) Capacity() int {
 	}
 }
 
+// planCache memoizes built topologies process-wide, keyed by canonical
+// Spec. An experiment sweep rebuilds the same plan for every run of a
+// cell, and before this cache each rebuild re-ran BFS per source; now the
+// route rows (and the algebraic memo) survive across Build calls. The
+// key mirrors service.Canonicalize's spec normalization — the service
+// package sits above cluster and cannot be imported here — so two specs
+// the service would content-address identically share one plan.
+var planCache struct {
+	mu sync.Mutex
+	m  map[Spec]*Topology
+}
+
+// planCacheCap bounds the cache; on overflow the map is dropped wholesale
+// (plans are cheap to rebuild relative to their route tables, and a
+// process juggling >64 distinct specs is a fuzzer, not a sweep).
+const planCacheCap = 64
+
+// canonicalSpec normalizes a Spec to its cache identity: defaulted radix
+// made explicit, and AllowExpand cleared for the fixed-radix kinds that
+// ignore it.
+func canonicalSpec(s Spec) Spec {
+	if s.Radix == 0 {
+		s.Radix = DefaultRadix
+	}
+	switch s.Kind {
+	case Star, Clos2, Clos3:
+		s.AllowExpand = false
+	}
+	return s
+}
+
 // Build constructs the wiring plan for a spec. It errors — rather than
 // silently colliding on port indices — when the nodes cannot all attach:
 // zero or negative node counts, radix too small, capacity exceeded, or an
 // odd radix for the fat-tree (which needs an even split per tier).
+//
+// Successful builds are memoized by canonical Spec, so repeated Builds of
+// one spec share a single Topology — including its cached route rows. The
+// shared plan is immutable after construction and safe for concurrent
+// use (route caching locks internally).
 func Build(spec Spec) (*Topology, error) {
+	key := canonicalSpec(spec)
+	planCache.mu.Lock()
+	if t, ok := planCache.m[key]; ok {
+		planCache.mu.Unlock()
+		return t, nil
+	}
+	planCache.mu.Unlock()
+	t, err := build(key)
+	if err != nil {
+		return nil, err
+	}
+	planCache.mu.Lock()
+	if planCache.m == nil {
+		planCache.m = make(map[Spec]*Topology, planCacheCap)
+	} else if len(planCache.m) >= planCacheCap {
+		planCache.m = make(map[Spec]*Topology, planCacheCap)
+	}
+	planCache.m[key] = t
+	planCache.mu.Unlock()
+	return t, nil
+}
+
+func build(spec Spec) (*Topology, error) {
 	if spec.Nodes < 1 {
 		return nil, fmt.Errorf("topo: need at least one node, have %d", spec.Nodes)
 	}
@@ -236,6 +296,7 @@ func Build(spec Spec) (*Topology, error) {
 				s, p, MaxSwitchPorts)
 		}
 	}
+	t.routes.alg = newAlgRouter(t)
 	return t, nil
 }
 
